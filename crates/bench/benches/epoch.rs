@@ -1,0 +1,48 @@
+//! Wall-clock cost of one full NiLiCon replication epoch (the simulator's
+//! own hot loop): exec + freeze + dump + transfer + commit. This is the
+//! throughput ceiling of the experiment harness itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilicon::engine::Checkpointer;
+use nilicon::{NiLiConEngine, OptimizationConfig};
+use nilicon_container::{ContainerRuntime, ContainerSpec, MemLayout};
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::CostModel;
+use std::hint::black_box;
+
+fn bench_epoch_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("replication_epoch");
+    group.sample_size(30);
+
+    for &dirty in &[50u64, 300, 3000] {
+        group.bench_function(format!("checkpoint_commit_{dirty}_dirty"), |b| {
+            let mut primary = Kernel::default();
+            let mut backup = Kernel::default();
+            let mut spec = ContainerSpec::server("epoch", 10, 80);
+            spec.heap_pages = dirty + 64;
+            let cont = ContainerRuntime::create(&mut primary, &spec).unwrap();
+            let mut engine =
+                NiLiConEngine::new(OptimizationConfig::nilicon(), CostModel::default());
+            engine.prepare(&mut primary, &cont).unwrap();
+            let mut epoch = 0u64;
+            b.iter(|| {
+                epoch += 1;
+                let pid = cont.init_pid();
+                for p in 0..dirty {
+                    primary
+                        .mem_write(pid, MemLayout::heap_page(p), &[epoch as u8])
+                        .unwrap();
+                }
+                let out = engine
+                    .checkpoint(&mut primary, &mut backup, &cont, epoch)
+                    .unwrap();
+                engine.commit(&mut backup, epoch).unwrap();
+                black_box(out.stop_time)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_epoch_cycle);
+criterion_main!(benches);

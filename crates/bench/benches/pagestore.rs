@@ -1,0 +1,150 @@
+//! Wall-clock Criterion benchmarks of the §V-A page stores.
+//!
+//! Unlike the virtual-time harness, these measure the *actual* Rust data
+//! structures: stock CRIU's linked list of checkpoint directories vs
+//! NiLiCon's four-level radix tree. The paper's claim — per-page insert cost
+//! grows with checkpoint history for the list but is constant for the tree —
+//! is directly visible in the `.../history-N` series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nilicon_criu::{LinkedListStore, PageKey, PageStore, RadixTreeStore};
+use nilicon_sim::ids::Pid;
+use nilicon_sim::PAGE_SIZE;
+use std::hint::black_box;
+
+fn page(tag: u8) -> Box<[u8; PAGE_SIZE]> {
+    Box::new([tag; PAGE_SIZE])
+}
+
+/// Build a store with `history` prior incremental checkpoints of `pages`
+/// pages each.
+fn seeded<S: PageStore + Default>(history: usize, pages: u64) -> S {
+    let mut s = S::default();
+    for ckpt in 0..history {
+        s.begin_checkpoint();
+        for vpn in 0..pages {
+            s.insert(
+                PageKey {
+                    pid: Pid(1),
+                    vpn: 0x1000 + vpn,
+                },
+                page(ckpt as u8),
+            );
+        }
+    }
+    s
+}
+
+fn bench_insert_vs_history(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pagestore_insert_after_history");
+    for history in [1usize, 8, 32, 128] {
+        group.bench_with_input(
+            BenchmarkId::new("linked_list", history),
+            &history,
+            |b, &h| {
+                let mut store: LinkedListStore = seeded(h, 64);
+                store.begin_checkpoint();
+                let mut vpn = 0u64;
+                b.iter(|| {
+                    vpn = (vpn + 1) % 64;
+                    black_box(store.insert(
+                        PageKey {
+                            pid: Pid(1),
+                            vpn: 0x1000 + vpn,
+                        },
+                        page(7),
+                    ))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("radix_tree", history),
+            &history,
+            |b, &h| {
+                let mut store: RadixTreeStore = seeded(h, 64);
+                store.begin_checkpoint();
+                let mut vpn = 0u64;
+                b.iter(|| {
+                    vpn = (vpn + 1) % 64;
+                    black_box(store.insert(
+                        PageKey {
+                            pid: Pid(1),
+                            vpn: 0x1000 + vpn,
+                        },
+                        page(7),
+                    ))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_commit_epoch(c: &mut Criterion) {
+    // One full epoch commit: 300 dirty pages (the streamcluster profile)
+    // merged into a store holding a 45K-page container image.
+    let mut group = c.benchmark_group("pagestore_commit_300_pages");
+    group.sample_size(20);
+    group.bench_function("radix_tree", |b| {
+        b.iter_batched(
+            || seeded::<RadixTreeStore>(1, 45_000),
+            |mut store| {
+                store.begin_checkpoint();
+                for vpn in 0..300u64 {
+                    store.insert(
+                        PageKey {
+                            pid: Pid(1),
+                            vpn: 0x1000 + vpn * 7,
+                        },
+                        page(9),
+                    );
+                }
+                store
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.bench_function("linked_list_history32", |b| {
+        b.iter_batched(
+            || seeded::<LinkedListStore>(32, 1_500),
+            |mut store| {
+                store.begin_checkpoint();
+                for vpn in 0..300u64 {
+                    store.insert(
+                        PageKey {
+                            pid: Pid(1),
+                            vpn: 0x1000 + vpn * 7,
+                        },
+                        page(9),
+                    );
+                }
+                store
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+fn bench_materialize(c: &mut Criterion) {
+    // Failover-path full-image iteration (sorted).
+    let mut group = c.benchmark_group("pagestore_materialize");
+    group.sample_size(20);
+    let radix: RadixTreeStore = seeded(1, 25_000); // ~100MB Redis-like image
+    group.bench_function("radix_iter_sorted_25k", |b| {
+        b.iter(|| black_box(radix.iter_sorted().len()));
+    });
+    let list: LinkedListStore = seeded(4, 6_000);
+    group.bench_function("list_iter_sorted_6k", |b| {
+        b.iter(|| black_box(list.iter_sorted().len()));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_insert_vs_history,
+    bench_commit_epoch,
+    bench_materialize
+);
+criterion_main!(benches);

@@ -1,0 +1,134 @@
+//! Wall-clock microbenchmarks of the substrate hot paths: dirty tracking,
+//! guest memory writes, the plug qdisc, socket checkpointing, and dump/
+//! restore of a realistic container.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilicon_container::{ContainerRuntime, ContainerSpec, MemLayout};
+use nilicon_criu::{dump_container, full_dump, DumpConfig};
+use nilicon_sim::ids::Endpoint;
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::mem::TrackingMode;
+use nilicon_sim::net::{InputMode, NetStack, TcpState};
+use nilicon_sim::proc::FreezeStrategy;
+use std::hint::black_box;
+
+fn container_kernel(heap_pages: u64) -> (Kernel, nilicon_container::Container) {
+    let mut k = Kernel::default();
+    let mut spec = ContainerSpec::server("bench", 10, 80);
+    spec.heap_pages = heap_pages;
+    let c = ContainerRuntime::create(&mut k, &spec).unwrap();
+    (k, c)
+}
+
+fn bench_mem_write(c: &mut Criterion) {
+    let mut group = c.benchmark_group("guest_memory");
+    let (mut k, cont) = container_kernel(8192);
+    let pid = cont.init_pid();
+    k.mm_mut(pid).unwrap().set_tracking(TrackingMode::SoftDirty);
+    let data = vec![0xABu8; 4096];
+    let mut off = 0u64;
+    group.bench_function("write_4k_tracked", |b| {
+        b.iter(|| {
+            off = (off + 4096) % (8192 * 4096 - 4096);
+            black_box(k.mem_write(pid, MemLayout::heap(off), &data).unwrap());
+        });
+    });
+    group.bench_function("pagemap_scan_8k_pages", |b| {
+        b.iter(|| black_box(k.pagemap_dirty(pid).unwrap().len()));
+    });
+    group.bench_function("clear_refs_8k_pages", |b| {
+        b.iter(|| black_box(k.clear_refs(pid).unwrap()));
+    });
+    group.finish();
+}
+
+fn bench_qdisc_and_sockets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("network");
+    // Established socket pair with queued state.
+    let mut server = NetStack::new(1, 1_000_000_000, InputMode::Buffer);
+    let sid = server.socket();
+    {
+        let s = server.sock_mut(sid).unwrap();
+        s.state = TcpState::Established;
+        s.local = Endpoint::new(1, 80);
+        s.remote = Some(Endpoint::new(2, 4000));
+    }
+    group.bench_function("send_recv_1k", |b| {
+        let payload = vec![7u8; 1024];
+        b.iter(|| {
+            server.send(sid, &payload).unwrap();
+            server.take_ready();
+            // Self-deliver for the recv path.
+            let s = server.sock_mut(sid).unwrap();
+            s.read_queue.extend(payload.iter().copied());
+            black_box(server.recv(sid, 1024).unwrap().len());
+        });
+    });
+    group.bench_function("checkpoint_128_sockets", |b| {
+        let mut stack = NetStack::new(1, 1_000_000_000, InputMode::Buffer);
+        for i in 0..128u16 {
+            let id = stack.socket();
+            let s = stack.sock_mut(id).unwrap();
+            s.state = TcpState::Established;
+            s.local = Endpoint::new(1, 3000);
+            s.remote = Some(Endpoint::new(2, 40_000 + i));
+            s.read_queue.extend(std::iter::repeat_n(1u8, 256));
+        }
+        b.iter(|| black_box(stack.checkpoint_sockets().1.len()));
+    });
+    group.finish();
+}
+
+fn bench_dump_restore(c: &mut Criterion) {
+    let mut group = c.benchmark_group("criu");
+    group.sample_size(20);
+    group.bench_function("incremental_dump_300_dirty", |b| {
+        let (mut k, cont) = container_kernel(4096);
+        let pid = cont.init_pid();
+        k.mm_mut(pid).unwrap().set_tracking(TrackingMode::SoftDirty);
+        k.freeze_cgroup(cont.cgroup, FreezeStrategy::BusyPoll)
+            .unwrap();
+        b.iter(|| {
+            // Dirty 300 pages, dump them.
+            for p in 0..300u64 {
+                k.mem_write(pid, MemLayout::heap_page(p), &[1]).unwrap();
+            }
+            let img = dump_container(&mut k, &cont, &DumpConfig::nilicon(), None, 1).unwrap();
+            black_box(img.pages.len())
+        });
+    });
+    group.bench_function("full_dump_restore_16MB", |b| {
+        b.iter_batched(
+            || {
+                let (mut k, cont) = container_kernel(8192);
+                let pid = cont.init_pid();
+                for p in 0..4096u64 {
+                    k.mem_write(pid, MemLayout::heap_page(p), &[p as u8])
+                        .unwrap();
+                }
+                (k, cont)
+            },
+            |(mut k, cont)| {
+                let img = full_dump(&mut k, &cont, &DumpConfig::nilicon()).unwrap();
+                let mut backup = Kernel::default();
+                let r = nilicon_criu::restore_container(
+                    &mut backup,
+                    &img,
+                    &nilicon_criu::RestoreConfig::default(),
+                )
+                .unwrap();
+                black_box(r.restore_time)
+            },
+            criterion::BatchSize::LargeInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_mem_write,
+    bench_qdisc_and_sockets,
+    bench_dump_restore
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Fig. 3 — performance overhead of NiLiCon vs MC across all seven
+//! benchmarks, with the runtime/stopped breakdown.
+//!
+//! Paper values follow the DESIGN.md reconstruction of the figure's
+//! OCR-garbled labels (anchored on the stated 19-67% NiLiCon range and
+//! Table I's 31% streamcluster).
+
+use nilicon_bench::{run_comparisons, Table};
+use nilicon_workloads::Scale;
+
+/// Reconstructed paper values: (benchmark, MC %, NiLiCon %).
+pub const PAPER_FIG3: [(&str, f64, f64); 7] = [
+    ("Swaptions", 12.54, 19.48),
+    ("Streamcluster", 25.96, 31.83),
+    ("Redis", 71.85, 67.32),
+    ("SSDB", 32.44, 33.71),
+    ("Node", 38.97, 58.32),
+    ("Lighttpd", 30.18, 37.67),
+    ("DJCMS", 52.66, 54.67),
+];
+
+fn main() {
+    let epochs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
+    let comparisons = run_comparisons(Scale::bench(), epochs);
+
+    let mut t = Table::new(
+        format!("Fig. 3 — overhead NiLiCon vs MC ({epochs} epochs; breakdown = stop+runtime)"),
+        vec![
+            "benchmark",
+            "paper MC",
+            "MC",
+            "(stop+run)",
+            "paper NiLiCon",
+            "NiLiCon",
+            "(stop+run)",
+        ],
+    );
+    for c in &comparisons {
+        let paper = PAPER_FIG3
+            .iter()
+            .find(|(n, _, _)| *n == c.name)
+            .expect("known benchmark");
+        let mc = c.overhead_pct(&c.mc);
+        let (mc_s, mc_r) = c.breakdown_pct(&c.mc);
+        let nl = c.overhead_pct(&c.nilicon);
+        let (nl_s, nl_r) = c.breakdown_pct(&c.nilicon);
+        t.push(
+            c.name.clone(),
+            vec![
+                format!("{:.1}%", paper.1),
+                format!("{mc:.1}%"),
+                format!("({mc_s:.0}+{mc_r:.0})"),
+                format!("{:.1}%", paper.2),
+                format!("{nl:.1}%"),
+                format!("({nl_s:.0}+{nl_r:.0})"),
+            ],
+        );
+    }
+    t.emit();
+}

@@ -1,0 +1,42 @@
+//! Reproduce every table and figure in sequence (the EXPERIMENTS.md driver).
+//!
+//! `cargo run -p nilicon-bench --release --bin reproduce [-- quick]`
+//!
+//! `quick` trims run lengths (useful for CI smoke); the default settings are
+//! the ones EXPERIMENTS.md records.
+
+use std::process::Command;
+
+fn run(bin: &str, args: &[&str]) {
+    eprintln!("\n##### {bin} {} #####", args.join(" "));
+    let status = Command::new(std::env::current_exe().unwrap().parent().unwrap().join(bin))
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to spawn {bin}: {e}"));
+    assert!(status.success(), "{bin} failed");
+}
+
+fn main() {
+    let quick = std::env::args()
+        .nth(1)
+        .map(|a| a == "quick")
+        .unwrap_or(false);
+    let (t1, cmp, t6, val_runs, val_epochs, scal) = if quick {
+        ("60", "30", "120", "3", "30", "30")
+    } else {
+        ("300", "120", "400", "50", "40", "60")
+    };
+
+    run("anchors", &[]);
+    run("table1", &[t1]);
+    run("table2", &[]);
+    // Fig. 3 + Tables III/IV/V derive from one set of comparison runs.
+    run("comparison_report", &[cmp]);
+    run("table6", &[t6]);
+    run("validation", &[val_runs, val_epochs]);
+    run("scalability", &["all", scal]);
+    // Extensions: the §VIII active-replication trade-off and the epoch knee.
+    run("colo_divergence", &[scal]);
+    run("epoch_sweep", &["2"]);
+    eprintln!("\nAll experiments completed.");
+}

@@ -1,0 +1,65 @@
+//! Table I — impact of NiLiCon's performance optimizations on streamcluster.
+//!
+//! Runs streamcluster (continuous mode) under each cumulative optimization
+//! row and reports the performance overhead vs the unreplicated run.
+//!
+//! Note on the "Basic implementation" row: its dominant cost — the
+//! linked-list incremental-image store — **grows with the number of
+//! checkpoints** (that is exactly the §V-A defect), so its measured overhead
+//! depends on run length. The paper's multi-minute native runs let the chain
+//! reach thousands of entries (1940%); this binary runs `--epochs` epochs
+//! (default 300) and reports the average over that window.
+
+use nilicon::harness::RunMode;
+use nilicon::OptimizationConfig;
+use nilicon_bench::{nilicon_mode, run_server, Table};
+use nilicon_workloads::{Scale, StreamclusterApp, Workload};
+
+fn continuous_streamcluster(scale: Scale) -> Workload {
+    let mut w = nilicon_workloads::streamcluster(scale, 4);
+    let mut app = StreamclusterApp::new(scale);
+    app.passes = u32::MAX; // continuous: we measure steady-state throughput
+    w.app = Box::new(app);
+    w
+}
+
+fn main() {
+    let epochs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(300);
+    let scale = Scale::bench();
+
+    let paper = [1940.0, 619.0, 84.0, 65.0, 53.0, 37.0, 31.0];
+    eprintln!("running stock baseline...");
+    let stock = run_server(
+        continuous_streamcluster(scale),
+        RunMode::Unreplicated,
+        epochs,
+        "stock",
+    );
+
+    let mut t = Table::new(
+        format!("Table I — optimization impact, streamcluster ({epochs} epochs)"),
+        vec!["Optimization", "paper", "measured", "avg stop"],
+    );
+    for (i, (label, opts)) in OptimizationConfig::table1_rows().into_iter().enumerate() {
+        eprintln!("running: {label}...");
+        let s = run_server(
+            continuous_streamcluster(scale),
+            nilicon_mode(opts),
+            epochs,
+            label,
+        );
+        let overhead = s.time_overhead_vs(stock.throughput) * 100.0;
+        t.push(
+            label,
+            vec![
+                format!("{:.0}%", paper[i]),
+                format!("{overhead:.0}%"),
+                nilicon_bench::fmt_ms(s.avg_stop),
+            ],
+        );
+    }
+    t.emit();
+}

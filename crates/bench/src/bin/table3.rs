@@ -1,0 +1,59 @@
+//! Table III — average stop time and dirty pages per epoch, MC and NiLiCon.
+
+use nilicon_bench::{fmt_ms, run_comparisons, Table};
+use nilicon_workloads::Scale;
+
+/// Paper Table III: (benchmark, MC stop ms, NiLiCon stop ms, MC dirty,
+/// NiLiCon dirty).
+pub const PAPER_TABLE3: [(&str, f64, f64, f64, f64); 7] = [
+    ("Swaptions", 2.4, 5.1, 212.0, 46.0),
+    ("Streamcluster", 3.0, 7.4, 462.0, 303.0),
+    ("Redis", 9.3, 18.9, 6200.0, 6300.0),
+    ("SSDB", 3.0, 10.4, 1107.0, 590.0),
+    ("Node", 9.4, 38.2, 6400.0, 5400.0),
+    ("Lighttpd", 4.8, 25.0, 2900.0, 1600.0),
+    ("DJCMS", 4.5, 19.1, 2800.0, 3000.0),
+];
+
+fn main() {
+    let epochs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
+    let comparisons = run_comparisons(Scale::bench(), epochs);
+
+    let mut t = Table::new(
+        format!("Table III — avg stop time & dirty pages per epoch ({epochs} epochs)"),
+        vec![
+            "benchmark",
+            "MC stop (paper)",
+            "MC stop",
+            "NiLiCon stop (paper)",
+            "NiLiCon stop",
+            "MC dpage (paper)",
+            "MC dpage",
+            "NiLiCon dpage (paper)",
+            "NiLiCon dpage",
+        ],
+    );
+    for c in &comparisons {
+        let p = PAPER_TABLE3
+            .iter()
+            .find(|(n, ..)| *n == c.name)
+            .expect("known");
+        t.push(
+            c.name.clone(),
+            vec![
+                format!("{:.1}ms", p.1),
+                fmt_ms(c.mc.avg_stop),
+                format!("{:.1}ms", p.2),
+                fmt_ms(c.nilicon.avg_stop),
+                format!("{:.0}", p.3),
+                format!("{:.0}", c.mc.avg_dirty),
+                format!("{:.0}", p.4),
+                format!("{:.0}", c.nilicon.avg_dirty),
+            ],
+        );
+    }
+    t.emit();
+}

@@ -1,0 +1,61 @@
+//! Table IV — stop-time and transferred-state-size percentiles (NiLiCon).
+
+use nilicon_bench::{fmt_mib, fmt_ms, run_comparisons, Table};
+use nilicon_workloads::Scale;
+
+/// Paper Table IV: (benchmark, stop p10/p50/p90 in ms, state p10/p50/p90).
+pub const PAPER_TABLE4: [(&str, [f64; 3], [&str; 3]); 7] = [
+    ("Swaptions", [5.1, 5.1, 5.2], ["189K", "193K", "201K"]),
+    ("Streamcluster", [6.3, 6.4, 13.1], ["257K", "269K", "306K"]),
+    ("Redis", [15.0, 18.0, 20.0], ["17.9M", "24.2M", "30.0M"]),
+    ("SSDB", [9.0, 10.0, 11.0], ["1.43M", "2.88M", "3.41M"]),
+    ("Node", [38.0, 41.0, 46.0], ["22.7M", "24.2M", "25.2M"]),
+    ("Lighttpd", [20.0, 25.0, 35.0], ["2.05M", "7.17M", "14.65M"]),
+    ("DJCMS", [16.0, 18.0, 21.0], ["53.1K", "9.5M", "13.3M"]),
+];
+
+fn main() {
+    let epochs: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(120);
+    let comparisons = run_comparisons(Scale::bench(), epochs);
+
+    let mut t = Table::new(
+        format!("Table IV — NiLiCon stop time & state size percentiles ({epochs} epochs)"),
+        vec![
+            "benchmark",
+            "stop p10/50/90 (paper)",
+            "stop p10/50/90",
+            "state p10/50/90 (paper)",
+            "state p10/50/90",
+        ],
+    );
+    for c in &comparisons {
+        let p = PAPER_TABLE4
+            .iter()
+            .find(|(n, ..)| *n == c.name)
+            .expect("known");
+        let s = &c.nilicon;
+        t.push(
+            c.name.clone(),
+            vec![
+                format!("{:.1}/{:.1}/{:.1}ms", p.1[0], p.1[1], p.1[2]),
+                format!(
+                    "{}/{}/{}",
+                    fmt_ms(s.stop_p[0]),
+                    fmt_ms(s.stop_p[1]),
+                    fmt_ms(s.stop_p[2])
+                ),
+                format!("{}/{}/{}", p.2[0], p.2[1], p.2[2]),
+                format!(
+                    "{}/{}/{}",
+                    fmt_mib(s.state_p[0]),
+                    fmt_mib(s.state_p[1]),
+                    fmt_mib(s.state_p[2])
+                ),
+            ],
+        );
+    }
+    t.emit();
+}

@@ -1,0 +1,126 @@
+//! The Fig. 3 / Tables III-V comparison runs: every benchmark under stock,
+//! NiLiCon, and MC, from which four of the paper's exhibits derive.
+
+use crate::runner::{mc_mode, nilicon_mode, run_server, PerfSummary};
+use nilicon::harness::RunMode;
+use nilicon::OptimizationConfig;
+use nilicon_workloads::{Scale, StreamclusterApp, SwaptionsApp, Workload};
+use serde::Serialize;
+
+/// One benchmark's triple of runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Comparison {
+    /// Benchmark name.
+    pub name: String,
+    /// Unreplicated run.
+    pub stock: PerfSummary,
+    /// NiLiCon run.
+    pub nilicon: PerfSummary,
+    /// MC run.
+    pub mc: PerfSummary,
+    /// True for the non-interactive (execution-time-metric) benchmarks.
+    pub batch: bool,
+}
+
+impl Comparison {
+    /// Fig. 3 overhead (%): throughput reduction for servers, execution-time
+    /// increase for batch.
+    pub fn overhead_pct(&self, s: &PerfSummary) -> f64 {
+        if self.batch {
+            s.time_overhead_vs(self.stock.throughput) * 100.0
+        } else {
+            s.overhead_vs(self.stock.throughput) * 100.0
+        }
+    }
+
+    /// Fig. 3 breakdown: `(stopped%, runtime%)` components of the overhead.
+    pub fn breakdown_pct(&self, s: &PerfSummary) -> (f64, f64) {
+        let total = self.overhead_pct(s);
+        // Stop time adds dead time per epoch: avg_stop/epoch_exec.
+        let stopped = (s.avg_stop as f64 / 30e6 * 100.0).min(total.max(0.0));
+        (stopped, (total - stopped).max(0.0))
+    }
+}
+
+/// A boxed workload factory (each run needs a fresh instance).
+pub type WorkloadBuilder = Box<dyn Fn() -> Workload>;
+
+/// The Fig. 3 benchmark list (paper order) as workload builders.
+pub fn fig3_workloads(scale: Scale) -> Vec<(&'static str, bool, WorkloadBuilder)> {
+    vec![
+        (
+            "Swaptions",
+            true,
+            Box::new(move || {
+                let mut w = nilicon_workloads::swaptions(scale, 4);
+                let mut app = SwaptionsApp::new(scale);
+                app.swaptions = u32::MAX; // continuous; we measure throughput
+                w.app = Box::new(app);
+                w
+            }),
+        ),
+        (
+            "Streamcluster",
+            true,
+            Box::new(move || {
+                let mut w = nilicon_workloads::streamcluster(scale, 4);
+                let mut app = StreamclusterApp::new(scale);
+                app.passes = u32::MAX;
+                w.app = Box::new(app);
+                w
+            }),
+        ),
+        (
+            "Redis",
+            false,
+            Box::new(move || nilicon_workloads::redis(scale, 8, None)),
+        ),
+        (
+            "SSDB",
+            false,
+            Box::new(move || nilicon_workloads::ssdb(scale, 8, None)),
+        ),
+        (
+            "Node",
+            false,
+            Box::new(move || nilicon_workloads::node(scale, 128, None)),
+        ),
+        (
+            "Lighttpd",
+            false,
+            Box::new(move || nilicon_workloads::lighttpd(4, 32, None)),
+        ),
+        (
+            "DJCMS",
+            false,
+            Box::new(move || nilicon_workloads::djcms(16, None)),
+        ),
+    ]
+}
+
+/// Run the full three-way comparison over all seven benchmarks.
+pub fn run_comparisons(scale: Scale, epochs: u64) -> Vec<Comparison> {
+    fig3_workloads(scale)
+        .into_iter()
+        .map(|(name, batch, build)| {
+            eprintln!("[{name}] stock...");
+            let stock = run_server(build(), RunMode::Unreplicated, epochs, "stock");
+            eprintln!("[{name}] NiLiCon...");
+            let nilicon = run_server(
+                build(),
+                nilicon_mode(OptimizationConfig::nilicon()),
+                epochs,
+                "NiLiCon",
+            );
+            eprintln!("[{name}] MC...");
+            let mc = run_server(build(), mc_mode(), epochs, "MC");
+            Comparison {
+                name: name.to_string(),
+                stock,
+                nilicon,
+                mc,
+                batch,
+            }
+        })
+        .collect()
+}

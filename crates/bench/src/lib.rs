@@ -1,0 +1,33 @@
+//! # nilicon-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper's evaluation (§VII); each prints
+//! the paper's reported values next to this reproduction's measurements and
+//! emits machine-readable JSON records (consumed by EXPERIMENTS.md).
+//!
+//! | Binary        | Regenerates |
+//! |---------------|-------------|
+//! | `table1`      | Table I — optimization impact on streamcluster |
+//! | `table2`      | Table II — recovery latency breakdown |
+//! | `fig3`        | Fig. 3 — overhead, NiLiCon vs MC, with breakdown |
+//! | `table3`      | Table III — avg stop time & dirty pages/epoch |
+//! | `table4`      | Table IV — stop-time & state-size percentiles |
+//! | `table5`      | Table V — active vs backup core utilization |
+//! | `table6`      | Table VI — single-client response latency |
+//! | `validation`  | §VII-A — fault-injection recovery-rate campaign |
+//! | `scalability` | §VII-C — thread/client/process sweeps |
+//! | `anchors`     | §V/§VI — paper-stated cost anchors vs the model |
+//! | `reproduce`   | everything above, in sequence |
+//!
+//! Criterion microbenches (`cargo bench`) measure the *real* data structures
+//! in wall-clock time: the §V-A radix tree vs linked-list page stores, the
+//! soft-dirty scan, checkpoint image sizing, and the plug qdisc.
+
+pub mod comparison;
+pub mod report;
+pub mod runner;
+
+pub use comparison::{fig3_workloads, run_comparisons, Comparison};
+pub use report::{fmt_mib, fmt_ms, Row, Table};
+pub use runner::{
+    mc_mode, nilicon_mode, run_batch, run_server, summarize, PerfSummary, WARMUP_EPOCHS,
+};

@@ -1,0 +1,146 @@
+//! Table rendering + JSON experiment records.
+
+use nilicon_sim::time::Nanos;
+use serde::Serialize;
+
+/// Format nanoseconds as milliseconds with one decimal.
+pub fn fmt_ms(ns: Nanos) -> String {
+    format!("{:.1}ms", ns as f64 / 1e6)
+}
+
+/// Format bytes as MiB/KiB like the paper's Table IV.
+pub fn fmt_mib(bytes: u64) -> String {
+    if bytes >= 1_000_000 {
+        format!("{:.2}M", bytes as f64 / 1_048_576.0)
+    } else {
+        format!("{:.1}K", bytes as f64 / 1024.0)
+    }
+}
+
+/// One rendered row: label + cells.
+#[derive(Debug, Clone, Serialize)]
+pub struct Row {
+    /// Row label.
+    pub label: String,
+    /// Cell contents.
+    pub cells: Vec<String>,
+}
+
+impl Row {
+    /// Build a row.
+    pub fn new(label: impl Into<String>, cells: Vec<String>) -> Self {
+        Row {
+            label: label.into(),
+            cells,
+        }
+    }
+}
+
+/// A paper-style table with a title, column headers, and rows; renders as
+/// aligned text and serializes to JSON for EXPERIMENTS.md.
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Table title (e.g. "Table III — ...").
+    pub title: String,
+    /// Column headers (first column is the row label).
+    pub headers: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: Vec<&str>) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.into_iter().map(String::from).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, label: impl Into<String>, cells: Vec<String>) {
+        self.rows.push(Row::new(label, cells));
+    }
+
+    /// Render as aligned text.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            widths[0] = widths[0].max(row.label.len());
+            for (i, c) in row.cells.iter().enumerate() {
+                if i + 1 < widths.len() {
+                    widths[i + 1] = widths[i + 1].max(c.len());
+                } else {
+                    widths.push(c.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        let header_line: Vec<String> = self
+            .headers
+            .iter()
+            .enumerate()
+            .map(|(i, h)| format!("{:width$}", h, width = widths[i]))
+            .collect();
+        out.push_str(&header_line.join("  "));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        out.push('\n');
+        for row in &self.rows {
+            let mut line = vec![format!("{:width$}", row.label, width = widths[0])];
+            for (i, c) in row.cells.iter().enumerate() {
+                line.push(format!(
+                    "{:width$}",
+                    c,
+                    width = widths.get(i + 1).copied().unwrap_or(8)
+                ));
+            }
+            out.push_str(&line.join("  "));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print the table and its JSON record.
+    pub fn emit(&self) {
+        println!("{}", self.render());
+        println!(
+            "JSON: {}\n",
+            serde_json::to_string(self).expect("table serializes")
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(7_400_000), "7.4ms");
+        assert_eq!(fmt_mib(24_200_000), "23.08M");
+        assert_eq!(fmt_mib(53_100), "51.9K");
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new("Table X", vec!["bench", "paper", "ours"]);
+        t.push("Redis", vec!["18.9ms".into(), "17.2ms".into()]);
+        t.push("A-much-longer-name", vec!["5.1ms".into(), "4.9ms".into()]);
+        let s = t.render();
+        assert!(s.contains("== Table X =="));
+        assert!(s.contains("A-much-longer-name"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn table_serializes() {
+        let mut t = Table::new("T", vec!["a"]);
+        t.push("r", vec!["1".into()]);
+        let j = serde_json::to_string(&t).unwrap();
+        assert!(j.contains("\"title\":\"T\""));
+    }
+}

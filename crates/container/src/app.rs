@@ -1,0 +1,226 @@
+//! The [`Application`] trait: what runs inside a container.
+//!
+//! Workloads implement this trait; the replication runtimes (`nilicon`,
+//! `nilicon-mc`) and the unreplicated baseline driver host it. Applications
+//! interact with the world only through [`GuestCtx`] — reads and writes go to
+//! *simulated* memory, files, and sockets, so everything an application does
+//! is visible to (and recoverable by) the checkpointing machinery. An
+//! application that cheats and keeps durable state solely in Rust structs
+//! will fail the §VII-A validation tests after a failover.
+
+use crate::layout::MemLayout;
+use nilicon_sim::ids::{Fd, Pid};
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::time::Nanos;
+use nilicon_sim::{SimResult, PAGE_SIZE};
+
+/// Outcome of handling one request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestOutcome {
+    /// Response payload to send back to the client.
+    pub response: Vec<u8>,
+}
+
+/// Outcome of one batch step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// True when the batch workload has completed.
+    pub done: bool,
+}
+
+/// Guest execution context: the syscall surface scoped to one process.
+pub struct GuestCtx<'k> {
+    /// The kernel this container runs on.
+    pub kernel: &'k mut Kernel,
+    /// The process whose context the application code runs in.
+    pub pid: Pid,
+    /// Virtual time at dispatch.
+    pub now: Nanos,
+}
+
+impl<'k> GuestCtx<'k> {
+    /// Construct a context.
+    pub fn new(kernel: &'k mut Kernel, pid: Pid, now: Nanos) -> Self {
+        GuestCtx { kernel, pid, now }
+    }
+
+    /// Charge pure computation time (the application's own CPU work, e.g.
+    /// the PHP watermarking loop in the Lighttpd benchmark).
+    pub fn cpu(&mut self, ns: Nanos) {
+        self.kernel.meter.charge(ns);
+    }
+
+    /// Write to the process heap at byte offset `off`.
+    pub fn heap_write(&mut self, off: u64, data: &[u8]) -> SimResult<()> {
+        self.kernel
+            .mem_write(self.pid, MemLayout::heap(off), data)?;
+        Ok(())
+    }
+
+    /// Read from the process heap at byte offset `off`.
+    pub fn heap_read(&mut self, off: u64, buf: &mut [u8]) -> SimResult<()> {
+        self.kernel.mem_read(self.pid, MemLayout::heap(off), buf)
+    }
+
+    /// Dirty a whole heap page (scratch writes whose content is irrelevant —
+    /// one canary byte is written so restores remain verifiable).
+    pub fn heap_touch_page(&mut self, page: u64, canary: u8) -> SimResult<()> {
+        self.kernel
+            .mem_write(self.pid, MemLayout::heap_page(page), &[canary])?;
+        Ok(())
+    }
+
+    /// Write to a thread stack (stack index `i`, byte offset `off`).
+    pub fn stack_write(&mut self, i: u64, off: u64, data: &[u8]) -> SimResult<()> {
+        self.kernel
+            .mem_write(self.pid, MemLayout::stack(i) + off, data)?;
+        Ok(())
+    }
+
+    /// Read from a thread stack.
+    pub fn stack_read(&mut self, i: u64, off: u64, buf: &mut [u8]) -> SimResult<()> {
+        self.kernel
+            .mem_read(self.pid, MemLayout::stack(i) + off, buf)
+    }
+
+    /// Open (or create) a file by path.
+    pub fn open_or_create(&mut self, path: &str) -> SimResult<Fd> {
+        match self.kernel.open(self.pid, path) {
+            Ok(fd) => Ok(fd),
+            Err(_) => self.kernel.create_file(self.pid, path, self.now),
+        }
+    }
+
+    /// Positional file write.
+    pub fn pwrite(&mut self, fd: Fd, off: u64, data: &[u8]) -> SimResult<usize> {
+        self.kernel.pwrite(self.pid, fd, off, data, self.now)
+    }
+
+    /// Positional file read.
+    pub fn pread(&mut self, fd: Fd, off: u64, buf: &mut [u8]) -> SimResult<usize> {
+        self.kernel.pread(self.pid, fd, off, buf)
+    }
+
+    /// fsync a file (reaches the replicated block device).
+    pub fn fsync(&mut self, fd: Fd) -> SimResult<usize> {
+        self.kernel.fsync(self.pid, fd)
+    }
+
+    /// Number of whole pages needed for `bytes`.
+    pub fn pages_for(bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(PAGE_SIZE as u64)
+    }
+}
+
+/// An application hosted in a container.
+///
+/// Server applications implement [`Application::handle_request`]; batch
+/// applications implement [`Application::step`]. Both kinds implement
+/// [`Application::recover`], which rebuilds any in-struct working state from
+/// guest memory/files after a restore — the analogue of a real process whose
+/// memory came back verbatim but whose host-side harness object is new.
+pub trait Application {
+    /// Application name (for reports).
+    fn name(&self) -> &str;
+
+    /// One-time setup: create files, seed data, arrange memory.
+    fn init(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()>;
+
+    /// Serve one request (server applications).
+    fn handle_request(&mut self, ctx: &mut GuestCtx<'_>, req: &[u8]) -> SimResult<RequestOutcome> {
+        let _ = (ctx, req);
+        Ok(RequestOutcome {
+            response: Vec::new(),
+        })
+    }
+
+    /// Perform one unit of batch work (non-interactive applications).
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<StepOutcome> {
+        let _ = ctx;
+        Ok(StepOutcome { done: true })
+    }
+
+    /// Rebuild Rust-side working state from guest memory after a restore.
+    fn recover(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        let _ = ctx;
+        Ok(())
+    }
+
+    /// Whether this is a server (has a listener) or a batch application.
+    fn is_server(&self) -> bool {
+        true
+    }
+}
+
+// ----------------------------------------------------------------------
+// Request framing: 4-byte little-endian length prefix over the TCP stream.
+// ----------------------------------------------------------------------
+
+/// Frame a message for the wire.
+pub fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(4 + payload.len());
+    v.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    v.extend_from_slice(payload);
+    v
+}
+
+/// Try to decode one frame from `buf`; returns `(payload, bytes_consumed)`.
+pub fn try_decode_frame(buf: &[u8]) -> Option<(Vec<u8>, usize)> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if buf.len() < 4 + len {
+        return None;
+    }
+    Some((buf[4..4 + len].to_vec(), 4 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let f = encode_frame(b"hello");
+        assert_eq!(f.len(), 9);
+        let (payload, consumed) = try_decode_frame(&f).unwrap();
+        assert_eq!(payload, b"hello");
+        assert_eq!(consumed, 9);
+    }
+
+    #[test]
+    fn partial_frames_return_none() {
+        let f = encode_frame(b"abcdef");
+        assert!(try_decode_frame(&f[..3]).is_none(), "short header");
+        assert!(try_decode_frame(&f[..7]).is_none(), "short payload");
+        assert!(try_decode_frame(&f).is_some());
+    }
+
+    #[test]
+    fn back_to_back_frames() {
+        let mut buf = encode_frame(b"one");
+        buf.extend_from_slice(&encode_frame(b"two"));
+        let (p1, c1) = try_decode_frame(&buf).unwrap();
+        assert_eq!(p1, b"one");
+        let (p2, c2) = try_decode_frame(&buf[c1..]).unwrap();
+        assert_eq!(p2, b"two");
+        assert_eq!(c1 + c2, buf.len());
+    }
+
+    #[test]
+    fn empty_frame() {
+        let f = encode_frame(b"");
+        let (p, c) = try_decode_frame(&f).unwrap();
+        assert!(p.is_empty());
+        assert_eq!(c, 4);
+    }
+
+    #[test]
+    fn pages_for_rounds_up() {
+        assert_eq!(GuestCtx::pages_for(0), 0);
+        assert_eq!(GuestCtx::pages_for(1), 1);
+        assert_eq!(GuestCtx::pages_for(4096), 1);
+        assert_eq!(GuestCtx::pages_for(4097), 2);
+    }
+}

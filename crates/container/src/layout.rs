@@ -1,0 +1,84 @@
+//! Canonical guest address-space layout.
+//!
+//! Every worker process gets the same deterministic layout, which keeps
+//! checkpoint images comparable across runs and lets applications compute
+//! their data addresses without a guest-side allocator.
+
+use nilicon_sim::PAGE_SIZE;
+
+/// Address-space layout constants for container processes.
+#[derive(Debug, Clone, Copy)]
+pub struct MemLayout;
+
+impl MemLayout {
+    /// Executable text mapping base (`r-x`, file backed).
+    pub const TEXT_BASE: u64 = 0x0040_0000;
+    /// Executable text size in pages.
+    pub const TEXT_PAGES: u64 = 256;
+    /// First shared-library mapping base (`r-x`, file backed).
+    pub const LIB_BASE: u64 = 0x7f00_0000_0000;
+    /// Pages per shared-library mapping.
+    pub const LIB_PAGES: u64 = 64;
+    /// Gap between consecutive library mappings.
+    pub const LIB_STRIDE: u64 = 0x20_0000;
+    /// Heap base (`rw-`, anonymous, grows via brk).
+    pub const HEAP_BASE: u64 = 0x1000_0000;
+    /// Stack area base; stack `i` sits at `STACK_BASE + i * STACK_STRIDE`.
+    pub const STACK_BASE: u64 = 0x7ffd_0000_0000;
+    /// Pages per thread stack.
+    pub const STACK_PAGES: u64 = 32;
+    /// Gap between consecutive stacks.
+    pub const STACK_STRIDE: u64 = 0x10_0000;
+
+    /// Address of heap byte `off`.
+    #[inline]
+    pub fn heap(off: u64) -> u64 {
+        Self::HEAP_BASE + off
+    }
+
+    /// Address of the start of heap page `n`.
+    #[inline]
+    pub fn heap_page(n: u64) -> u64 {
+        Self::HEAP_BASE + n * PAGE_SIZE as u64
+    }
+
+    /// Base address of library mapping `i`.
+    #[inline]
+    pub fn lib(i: u64) -> u64 {
+        Self::LIB_BASE + i * Self::LIB_STRIDE
+    }
+
+    /// Base address of thread stack `i`.
+    #[inline]
+    pub fn stack(i: u64) -> u64 {
+        Self::STACK_BASE + i * Self::STACK_STRIDE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        // Text ends far below heap; heap region far below libs; libs below stacks.
+        let text_end = MemLayout::TEXT_BASE + MemLayout::TEXT_PAGES * PAGE_SIZE as u64;
+        assert!(text_end < MemLayout::HEAP_BASE);
+        assert!(MemLayout::heap_page(1 << 20) < MemLayout::LIB_BASE);
+        let last_lib_end = MemLayout::lib(255) + MemLayout::LIB_PAGES * PAGE_SIZE as u64;
+        assert!(last_lib_end < MemLayout::STACK_BASE);
+    }
+
+    #[test]
+    fn lib_and_stack_strides_exceed_sizes() {
+        assert!(MemLayout::LIB_STRIDE > MemLayout::LIB_PAGES * PAGE_SIZE as u64);
+        assert!(MemLayout::STACK_STRIDE > MemLayout::STACK_PAGES * PAGE_SIZE as u64);
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(MemLayout::heap(0), MemLayout::HEAP_BASE);
+        assert_eq!(MemLayout::heap_page(2), MemLayout::HEAP_BASE + 8192);
+        assert_eq!(MemLayout::lib(1) - MemLayout::lib(0), MemLayout::LIB_STRIDE);
+    }
+}

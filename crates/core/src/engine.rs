@@ -1,0 +1,99 @@
+//! The [`Checkpointer`] seam between the epoch-loop harness and a
+//! replication engine (NiLiCon here, MC in `nilicon-mc`).
+
+use nilicon_container::Container;
+use nilicon_criu::RestoredContainer;
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::time::Nanos;
+use nilicon_sim::SimResult;
+
+/// What one stop-phase checkpoint produced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CheckpointOutcome {
+    /// Virtual time the container/VM was stopped.
+    pub stop_time: Nanos,
+    /// Bytes shipped to the backup for this epoch (container state + disk).
+    pub state_bytes: u64,
+    /// Dirty pages captured.
+    pub dirty_pages: u64,
+    /// Delay from resume until the backup's ack arrives (release point of
+    /// this epoch's buffered output). Zero if the transfer completed inside
+    /// the stop phase (no staging buffer).
+    pub ack_delay: Nanos,
+    /// Backup CPU consumed ingesting this epoch.
+    pub backup_cpu: Nanos,
+}
+
+/// Recovery-latency breakdown (Table II).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FailoverReport {
+    /// Time to restore the container state on the backup.
+    pub restore: Nanos,
+    /// Gratuitous-ARP broadcast + propagation.
+    pub arp: Nanos,
+    /// Packet-retransmission delay not overlapped with other recovery
+    /// actions (§V-E).
+    pub tcp: Nanos,
+    /// Everything else (bookkeeping, reconnecting the bridge).
+    pub others: Nanos,
+    /// Disk pages committed from the DRBD buffer during failover.
+    pub disk_pages_committed: u64,
+}
+
+impl FailoverReport {
+    /// Total recovery latency (excludes detection).
+    pub fn total(&self) -> Nanos {
+        self.restore + self.arp + self.tcp + self.others
+    }
+}
+
+/// A replication engine driven by the harness once per epoch.
+pub trait Checkpointer {
+    /// Engine name for reports.
+    fn name(&self) -> &'static str;
+
+    /// One-time setup on the primary (arm page tracking, initial full sync
+    /// of memory and disk to the backup).
+    fn prepare(&mut self, primary: &mut Kernel, container: &Container) -> SimResult<()>;
+
+    /// Execute one stop-phase checkpoint: freeze/pause, capture state,
+    /// resume. Reports the stop time, the ack delay, and the transfer stats
+    /// in the outcome. Without a staging buffer the transfer and the
+    /// backup's inline ingest sit on the stop critical path (§V-D (2));
+    /// with one, they overlap the next execution phase.
+    fn checkpoint(
+        &mut self,
+        primary: &mut Kernel,
+        backup: &mut Kernel,
+        container: &Container,
+        epoch: u64,
+    ) -> SimResult<CheckpointOutcome>;
+
+    /// The backup acked `epoch` (called at ack time): commit buffered disk
+    /// writes and image state. Returns backup CPU consumed by the commit.
+    fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos>;
+
+    /// The primary failed: restore on `backup` from the last committed
+    /// state. Returns the restored container and the latency breakdown.
+    fn failover(&mut self, backup: &mut Kernel) -> SimResult<(RestoredContainer, FailoverReport)>;
+
+    /// Highest committed epoch (None before the first commit).
+    fn committed_epoch(&self) -> Option<u64>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failover_report_total() {
+        let r = FailoverReport {
+            restore: 218,
+            arp: 28,
+            tcp: 54,
+            others: 7,
+            disk_pages_committed: 0,
+        };
+        assert_eq!(r.total(), 307, "Table II Net row");
+    }
+}

@@ -1,0 +1,654 @@
+//! The run harness: hosts a workload in a container and drives the epoch
+//! loop of Fig. 1 — unreplicated (stock), under NiLiCon, or under any other
+//! [`Checkpointer`] (the MC baseline) — with fault injection.
+//!
+//! ## Timing model
+//!
+//! Virtual time advances in epochs: an execution phase of fixed wall length
+//! (30 ms), then a stop phase whose length the engine meters. Within the
+//! execution phase the container can spend up to `epoch_exec × parallelism`
+//! of CPU (its dedicated cores); request service costs are metered by the
+//! kernel, so page-tracking faults automatically slow the container down
+//! (the Fig. 3 "runtime overhead" component).
+//!
+//! Output commit: server responses enter the plugged qdisc during the epoch
+//! and are released when the backup acknowledges that epoch's state; client
+//! response latencies are computed against the *release* time (§II-A), which
+//! is what produces the Table VI latency inflation.
+
+use crate::config::ReplicationConfig;
+use crate::detector::{FailureDetector, HeartbeatSender};
+use crate::engine::{Checkpointer, FailoverReport};
+use crate::metrics::{EpochRecord, RunMetrics};
+use crate::traffic::{ClientBehavior, ClientPool};
+use nilicon_container::{
+    encode_frame, try_decode_frame, Application, Container, ContainerRuntime, ContainerSpec,
+    GuestCtx,
+};
+use nilicon_sim::cluster::Cluster;
+use nilicon_sim::ids::{Endpoint, HostId, Pid};
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::net::InputMode;
+use nilicon_sim::time::Nanos;
+use nilicon_sim::{SimError, SimResult};
+use std::collections::{HashMap, VecDeque};
+
+/// Address of the client host's stack on the bridge.
+pub const CLIENT_ADDR: u32 = 200;
+/// CPU cost of the keep-alive process per 30 ms interval (§IV: ~1000
+/// instructions).
+const KEEPALIVE_COST: Nanos = 300;
+
+/// How the container runs.
+pub enum RunMode {
+    /// No replication (the paper's "stock" baseline).
+    Unreplicated,
+    /// Replicated under an engine (NiLiCon or MC).
+    Replicated(Box<dyn Checkpointer>),
+}
+
+impl std::fmt::Debug for RunMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunMode::Unreplicated => write!(f, "Unreplicated"),
+            RunMode::Replicated(e) => write!(f, "Replicated({})", e.name()),
+        }
+    }
+}
+
+/// Final outcome of a run.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Aggregated metrics.
+    pub metrics: RunMetrics,
+    /// Recovery breakdown, if a failover happened.
+    pub failover: Option<FailoverReport>,
+    /// Detection latency, if a fault was injected.
+    pub detection_latency: Option<Nanos>,
+    /// Whether the run ended with the service healthy (no fault, or fault +
+    /// successful recovery).
+    pub recovered: bool,
+    /// Client connections broken by RST (§VII-A criterion: must be 0).
+    pub broken_connections: u64,
+    /// Workload self-validation (§VII-A).
+    pub verify: Result<(), String>,
+}
+
+/// Deterministic SplitMix64 jitter in `[0, range)`.
+fn jitter(state: &mut u64, range: Nanos) -> Nanos {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    (z ^ (z >> 31)) % range.max(1)
+}
+
+/// The harness itself.
+pub struct RunHarness {
+    /// The simulated cluster: primary, backup, client hosts.
+    pub cluster: Cluster,
+    /// Primary host id.
+    pub primary: HostId,
+    /// Backup host id.
+    pub backup: HostId,
+    /// Client host id.
+    pub client_host: HostId,
+    container: Container,
+    app: Box<dyn Application>,
+    behavior: Option<Box<dyn ClientBehavior>>,
+    pool: Option<ClientPool>,
+    cfg: ReplicationConfig,
+    mode: RunMode,
+    parallelism: f64,
+    metrics: RunMetrics,
+    /// Decoded requests awaiting service: (client endpoint, payload, arrival).
+    pending: VecDeque<(Endpoint, Vec<u8>, Nanos)>,
+    /// Per-connection queue of logical response receipt times.
+    receipts: HashMap<Endpoint, VecDeque<Nanos>>,
+    sender: HeartbeatSender,
+    detector: FailureDetector,
+    fault_at: Option<Nanos>,
+    failover_report: Option<FailoverReport>,
+    detection_latency: Option<Nanos>,
+    on_backup: bool,
+    epoch: u64,
+    rr: u64,
+    batch_done: bool,
+    jitter_state: u64,
+    /// CPU consumed beyond the previous epoch's budget (a request larger
+    /// than one epoch's budget keeps the cores busy into the next epoch).
+    cpu_debt: Nanos,
+    /// Previous epoch's stop time — the steady-state duty-cycle stretch for
+    /// service-time accounting (a C-ms request takes C·(E+stop)/E of wall
+    /// time under replication because the container freezes every epoch).
+    last_stop: Nanos,
+}
+
+impl std::fmt::Debug for RunHarness {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunHarness")
+            .field("mode", &self.mode)
+            .field("epoch", &self.epoch)
+            .field("on_backup", &self.on_backup)
+            .finish()
+    }
+}
+
+impl RunHarness {
+    /// Build a harness: three hosts, the container on the primary, the
+    /// workload initialized, clients connected (if `behavior` is given), and
+    /// the engine prepared (if replicated).
+    ///
+    /// `parallelism` is the workload's usable core count (drives the exec
+    /// CPU budget and Table V's "Active" row).
+    pub fn new(
+        spec: ContainerSpec,
+        mut app: Box<dyn Application>,
+        behavior: Option<Box<dyn ClientBehavior>>,
+        mut mode: RunMode,
+        cfg: ReplicationConfig,
+        parallelism: f64,
+    ) -> SimResult<Self> {
+        let mut cluster = Cluster::new();
+        let primary = cluster.add_host(Kernel::default());
+        let backup = cluster.add_host(Kernel::default());
+        let client_host = cluster.add_host(Kernel::default());
+
+        // Container on the primary.
+        let container = ContainerRuntime::create(cluster.host_mut(primary), &spec)?;
+        cluster.bind_addr(spec.addr, primary, container.ns.net);
+
+        // Client stack.
+        let client_ns = cluster
+            .host_mut(client_host)
+            .namespaces
+            .create_set("client")
+            .net;
+        cluster
+            .host_mut(client_host)
+            .create_stack(client_ns, CLIENT_ADDR, InputMode::Buffer);
+        cluster.bind_addr(CLIENT_ADDR, client_host, client_ns);
+
+        // Workload init.
+        {
+            let k = cluster.host_mut(primary);
+            let mut ctx = GuestCtx::new(k, container.workers[0], 0);
+            app.init(&mut ctx)?;
+            k.meter.take();
+            k.fault_meter.take();
+        }
+
+        // Clients connect before the qdisc is plugged (handshakes flow
+        // freely during setup).
+        let pool = match (&behavior, spec.listen_port) {
+            (Some(b), Some(port)) => Some(ClientPool::connect(
+                &mut cluster,
+                client_host,
+                client_ns,
+                b.client_count(),
+                Endpoint::new(spec.addr, port),
+            )?),
+            _ => None,
+        };
+
+        // Engine preparation (arms tracking, plugs the qdisc).
+        if let RunMode::Replicated(engine) = &mut mode {
+            engine.prepare(cluster.host_mut(primary), &container)?;
+            cluster.host_mut(primary).meter.take();
+        }
+
+        let interval = cfg.heartbeat_interval;
+        let misses = cfg.heartbeat_misses;
+        Ok(RunHarness {
+            cluster,
+            primary,
+            backup,
+            client_host,
+            container,
+            app,
+            behavior,
+            pool,
+            cfg,
+            mode,
+            parallelism,
+            metrics: RunMetrics::default(),
+            pending: VecDeque::new(),
+            receipts: HashMap::new(),
+            sender: HeartbeatSender::new(),
+            detector: FailureDetector::new(interval, misses, 0),
+            fault_at: None,
+            failover_report: None,
+            detection_latency: None,
+            on_backup: false,
+            epoch: 0,
+            rr: 0,
+            batch_done: false,
+            jitter_state: 0x243F6A8885A308D3,
+            cpu_debt: 0,
+            last_stop: 0,
+        })
+    }
+
+    /// Schedule a fail-stop fault at absolute virtual time `t` (§VII-A).
+    pub fn inject_fault_at(&mut self, t: Nanos) {
+        self.fault_at = Some(t);
+    }
+
+    fn active_host(&self) -> HostId {
+        if self.on_backup {
+            self.backup
+        } else {
+            self.primary
+        }
+    }
+
+    /// Current container handle.
+    pub fn container(&self) -> &Container {
+        &self.container
+    }
+
+    /// True once the batch workload reported completion.
+    pub fn batch_done(&self) -> bool {
+        self.batch_done
+    }
+
+    /// Completed epochs so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether the run has failed over to the backup.
+    pub fn on_backup(&self) -> bool {
+        self.on_backup
+    }
+
+    // ------------------------------------------------------------------
+    // Client plumbing
+    // ------------------------------------------------------------------
+
+    /// Issue requests from idle clients, pump the wire, and harvest complete
+    /// frames into `pending` (with jittered arrival times — real clients are
+    /// not phase-locked to the epoch clock).
+    fn client_turnaround(&mut self, base: Nanos) -> SimResult<()> {
+        let jitter_range = self.cfg.epoch_exec;
+        if let (Some(pool), Some(behavior)) = (self.pool.as_mut(), self.behavior.as_mut()) {
+            pool.issue(&mut self.cluster, behavior.as_mut(), base, jitter_range)?;
+        } else {
+            return Ok(());
+        }
+        self.cluster.pump();
+
+        let host = self.active_host();
+        let ns = self.container.ns.net;
+        let k = self.cluster.host_mut(host);
+        let cl_lat = k.costs.client_link_latency;
+        let conns = k.stack(ns)?.established_ids();
+        for (sid, remote) in conns {
+            let buf = k.stack(ns)?.peek_recv(sid)?;
+            let mut offset = 0;
+            while let Some((frame, consumed)) = try_decode_frame(&buf[offset..]) {
+                offset += consumed;
+                let arrival = base + jitter(&mut self.jitter_state, jitter_range) + 2 * cl_lat;
+                self.pending.push_back((remote, frame, arrival));
+            }
+            if offset > 0 {
+                k.stack_mut(ns)?.consume_recv(sid, offset)?;
+            }
+        }
+        self.pending
+            .make_contiguous()
+            .sort_by_key(|(_, _, arrival)| *arrival);
+        Ok(())
+    }
+
+    /// Deliver released responses to clients at their logical receipt times;
+    /// record latencies.
+    fn client_collect(&mut self, fallback_now: Nanos) -> SimResult<()> {
+        if let (Some(pool), Some(behavior)) = (self.pool.as_mut(), self.behavior.as_mut()) {
+            let lats = pool.collect(
+                &mut self.cluster,
+                behavior.as_mut(),
+                &mut self.receipts,
+                fallback_now,
+            )?;
+            self.metrics.response_latencies.extend(lats);
+        }
+        Ok(())
+    }
+
+    /// Send one response on the connection to `remote` (looked up fresh so
+    /// it works across failovers).
+    fn send_response(&mut self, remote: Endpoint, payload: &[u8]) -> SimResult<()> {
+        let host = self.active_host();
+        let ns = self.container.ns.net;
+        let k = self.cluster.host_mut(host);
+        let sid = k
+            .stack(ns)?
+            .established_ids()
+            .into_iter()
+            .find(|(_, r)| *r == remote)
+            .map(|(sid, _)| sid)
+            .ok_or_else(|| SimError::Invalid(format!("no connection to {remote}")))?;
+        k.stack_mut(ns)?.send(sid, &encode_frame(payload))?;
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // The epoch loop
+    // ------------------------------------------------------------------
+
+    /// Run up to `n` epochs (stops early if a batch workload completes).
+    pub fn run_epochs(&mut self, n: u64) -> SimResult<()> {
+        for _ in 0..n {
+            if self.batch_done {
+                break;
+            }
+            let now = self.cluster.clock.now();
+            if let Some(f) = self.fault_at {
+                if !self.on_backup && f <= now + self.cfg.epoch_exec {
+                    self.do_failover(f.max(now))?;
+                    continue;
+                }
+            }
+            self.run_one_epoch()?;
+        }
+        self.metrics.elapsed = self.cluster.clock.now();
+        Ok(())
+    }
+
+    /// Run epochs until the batch workload completes (bounded by
+    /// `max_epochs`). Errors if the bound is hit first.
+    pub fn run_batch_to_completion(&mut self, max_epochs: u64) -> SimResult<()> {
+        let mut left = max_epochs;
+        while !self.batch_done {
+            if left == 0 {
+                return Err(SimError::Invalid(
+                    "batch did not complete within bound".into(),
+                ));
+            }
+            let chunk = left.min(64);
+            self.run_epochs(chunk)?;
+            left -= chunk;
+        }
+        self.metrics.elapsed = self.cluster.clock.now();
+        Ok(())
+    }
+
+    fn run_one_epoch(&mut self) -> SimResult<()> {
+        let exec_start = self.cluster.clock.now();
+        let host = self.active_host();
+
+        // --- Client requests arrive -------------------------------------
+        self.client_turnaround(exec_start)?;
+
+        // --- Execution phase --------------------------------------------
+        let budget = (self.cfg.epoch_exec as f64 * self.parallelism) as Nanos;
+        let epoch_end = exec_start + self.cfg.epoch_exec;
+        let mut used: Nanos = KEEPALIVE_COST + self.cpu_debt;
+        let mut requests_done = 0u64;
+        let mut steps_done = 0u64;
+        let mut completions: Vec<(Endpoint, Nanos)> = Vec::new();
+
+        {
+            let k = self.cluster.host_mut(host);
+            k.meter.take();
+            k.fault_meter.take();
+        }
+
+        if self.app.is_server() {
+            while used < budget {
+                let Some(pos) = self
+                    .pending
+                    .iter()
+                    .position(|(_, _, arrival)| *arrival <= epoch_end)
+                else {
+                    break;
+                };
+                let (remote, req, arrival) = self.pending.remove(pos).expect("pos valid");
+                let pid = self.pick_worker();
+                let response = {
+                    let k = self.cluster.host_mut(host);
+                    let mut ctx = GuestCtx::new(k, pid, exec_start + used);
+                    self.app.handle_request(&mut ctx, &req)?
+                };
+                let cost = self.cluster.host_mut(host).meter.take();
+                used += cost.max(100);
+                // Wall time to completion: queueing + service, stretched by
+                // the epoch duty cycle (the container is frozen for
+                // `last_stop` out of every `epoch_exec + last_stop`).
+                let stretch_num = self.cfg.epoch_exec + self.last_stop;
+                let wall_used = used.saturating_mul(stretch_num) / self.cfg.epoch_exec;
+                let t_done = arrival.max(exec_start) + wall_used;
+                self.send_response(remote, &response.response)?;
+                completions.push((remote, t_done));
+                requests_done += 1;
+            }
+        } else {
+            while used < budget && !self.batch_done {
+                let pid = self.container.workers[0];
+                let outcome = {
+                    let k = self.cluster.host_mut(host);
+                    let mut ctx = GuestCtx::new(k, pid, exec_start + used);
+                    self.app.step(&mut ctx)?
+                };
+                let cost = self.cluster.host_mut(host).meter.take();
+                used += cost.max(100);
+                steps_done += 1;
+                if outcome.done {
+                    self.batch_done = true;
+                }
+            }
+        }
+
+        self.cpu_debt = used.saturating_sub(budget);
+        let consumed = used.min(budget);
+        let tracking_overhead = self.cluster.host_mut(host).fault_meter.take();
+        let cg = self.container.cgroup;
+        self.cluster.host_mut(host).cgroups.charge_cpu(cg, consumed);
+        self.cluster.clock.advance_to(epoch_end);
+
+        // --- Heartbeat ---------------------------------------------------
+        let cpuacct = self.cluster.host_mut(host).cgroups.cpuacct_usage(cg);
+        if self.sender.tick(cpuacct) && !self.cluster.is_partitioned(host) {
+            self.detector.on_beat(epoch_end);
+        }
+
+        // --- Stop phase / release ----------------------------------------
+        let epoch = self.epoch;
+        if matches!(self.mode, RunMode::Unreplicated) {
+            self.cluster.pump();
+            let cl = self.cluster.host_mut(host).costs.client_link_latency;
+            for (remote, t_done) in completions {
+                self.receipts
+                    .entry(remote)
+                    .or_default()
+                    .push_back(t_done + cl);
+            }
+            self.client_collect(epoch_end)?;
+            self.metrics.push(EpochRecord {
+                epoch,
+                exec_cpu: consumed,
+                tracking_overhead,
+                requests_done,
+                steps_done,
+                ..Default::default()
+            });
+        } else {
+            let outcome = {
+                let RunMode::Replicated(engine) = &mut self.mode else {
+                    unreachable!()
+                };
+                let (pk, bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
+                engine.checkpoint(pk, bk, &self.container, epoch)?
+            };
+            self.cluster.clock.advance(outcome.stop_time);
+            self.last_stop = outcome.stop_time;
+            let release_time = self.cluster.clock.now() + outcome.ack_delay;
+
+            // Mechanically release now; logically at release_time.
+            let ns = self.container.ns.net;
+            self.cluster
+                .host_mut(self.primary)
+                .stack_mut(ns)?
+                .release_output();
+            self.cluster.pump();
+            let commit_cpu = {
+                let RunMode::Replicated(engine) = &mut self.mode else {
+                    unreachable!()
+                };
+                let (_pk, bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
+                engine.commit(bk, epoch)?
+            };
+
+            let cl = self
+                .cluster
+                .host_mut(self.primary)
+                .costs
+                .client_link_latency;
+            for (remote, t_done) in completions {
+                let receipt = t_done.max(release_time) + cl;
+                self.receipts.entry(remote).or_default().push_back(receipt);
+            }
+            self.client_collect(release_time)?;
+            self.metrics.push(EpochRecord {
+                epoch,
+                stop_time: outcome.stop_time,
+                dirty_pages: outcome.dirty_pages,
+                state_bytes: outcome.state_bytes,
+                ack_delay: outcome.ack_delay,
+                exec_cpu: consumed,
+                tracking_overhead,
+                backup_cpu: outcome.backup_cpu + commit_cpu,
+                requests_done,
+                steps_done,
+            });
+        }
+
+        // The epoch (including its stop phase) completed healthy: the agent
+        // heart-beats again. (The agent process is not frozen during its own
+        // checkpoint; gating on cpuacct exists to catch *container* hangs.)
+        let now = self.cluster.clock.now();
+        if !self.cluster.is_partitioned(host) {
+            self.detector.on_beat(now);
+        }
+        self.epoch += 1;
+        Ok(())
+    }
+
+    fn pick_worker(&mut self) -> Pid {
+        // Requests are handled in the leader's context: application fds are
+        // opened there, and concentrating guest state in one address space
+        // is checkpoint-equivalent (the dump walks every process either
+        // way). Multi-process CPU capacity is modeled by `parallelism`.
+        self.rr += 1;
+        self.container.workers[0]
+    }
+
+    // ------------------------------------------------------------------
+    // Failover
+    // ------------------------------------------------------------------
+
+    fn do_failover(&mut self, fault_time: Nanos) -> SimResult<()> {
+        if matches!(self.mode, RunMode::Unreplicated) {
+            return Err(SimError::Invalid(
+                "fault injected into an unreplicated run".into(),
+            ));
+        }
+        // Fail-stop: block all primary traffic (§VII-A).
+        self.cluster.clock.advance_to(fault_time);
+        self.cluster.partition(self.primary);
+
+        // Detection.
+        let mut t = fault_time;
+        while !self.detector.check(t) {
+            t += self.cfg.heartbeat_interval;
+        }
+        let detected = self.detector.detected_at().expect("check returned true");
+        self.cluster.clock.advance_to(detected.max(fault_time));
+        self.detection_latency = Some(detected.saturating_sub(fault_time));
+
+        // Failover on the backup.
+        let (restored, report) = {
+            let RunMode::Replicated(engine) = &mut self.mode else {
+                unreachable!()
+            };
+            let bk = &mut *self.cluster.host_mut(self.backup);
+            engine.failover(bk)?
+        };
+        self.cluster.clock.advance(report.total());
+
+        // Gratuitous ARP: the address moves to the backup.
+        self.cluster.bind_addr(
+            restored.container.spec.addr,
+            self.backup,
+            restored.container.ns.net,
+        );
+        restored.finish(self.cluster.host_mut(self.backup))?;
+
+        // Rebuild the application's working state from restored guest memory.
+        {
+            let now = self.cluster.clock.now();
+            let k = self.cluster.host_mut(self.backup);
+            let mut ctx = GuestCtx::new(k, restored.container.workers[0], now);
+            self.app.recover(&mut ctx)?;
+            k.meter.take();
+            k.fault_meter.take();
+        }
+
+        // Uncommitted driver-side buffers are garbage now: the clients will
+        // retransmit anything the committed state has not consumed.
+        self.pending.clear();
+
+        self.container = restored.container;
+        self.on_backup = true;
+        self.failover_report = Some(report);
+
+        // Retransmissions: restored server sockets re-send unacked
+        // responses (§V-E); clients re-send unacked requests.
+        let ns = self.container.ns.net;
+        self.cluster
+            .host_mut(self.backup)
+            .stack_mut(ns)?
+            .retransmit_all();
+        if let Some(pool) = self.pool.as_mut() {
+            pool.retransmit(&mut self.cluster)?;
+        }
+        self.cluster.pump();
+        // Retransmitted responses reach clients now.
+        let now = self.cluster.clock.now();
+        self.client_collect(now)?;
+
+        // Continue unreplicated on the backup (the paper does not re-arm
+        // replication after failover).
+        self.mode = RunMode::Unreplicated;
+        self.epoch += 1;
+        Ok(())
+    }
+
+    /// Finish the run: validate and hand back the results.
+    pub fn finish(mut self) -> RunResult {
+        self.metrics.elapsed = self.cluster.clock.now();
+        let broken = match self.pool.as_mut() {
+            Some(p) => p.broken_connections(&mut self.cluster),
+            None => 0,
+        };
+        let verify = match &self.behavior {
+            Some(b) => b.verify(),
+            None => Ok(()),
+        };
+        let recovered = self.fault_at.is_none() || self.on_backup;
+        RunResult {
+            metrics: self.metrics,
+            failover: self.failover_report,
+            detection_latency: self.detection_latency,
+            recovered,
+            broken_connections: broken,
+            verify,
+        }
+    }
+
+    /// Read-only metrics access mid-run.
+    pub fn metrics(&self) -> &RunMetrics {
+        &self.metrics
+    }
+}

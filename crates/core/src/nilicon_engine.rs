@@ -1,0 +1,370 @@
+//! The primary-side NiLiCon replication engine (§IV, §V).
+
+use crate::backup::BackupAgent;
+use crate::config::OptimizationConfig;
+use crate::engine::{CheckpointOutcome, Checkpointer, FailoverReport};
+use nilicon_container::Container;
+use nilicon_criu::{dump_container, InfrequentCache, RestoreConfig, RestoredContainer};
+use nilicon_drbd::DrbdPrimary;
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::mem::TrackingMode;
+use nilicon_sim::net::InputMode;
+use nilicon_sim::time::Nanos;
+use nilicon_sim::{SimError, SimResult};
+
+/// NiLiCon's primary-side engine plus the buffered backup agent.
+pub struct NiLiConEngine {
+    opts: OptimizationConfig,
+    cache: InfrequentCache,
+    /// Backup agent (public for Table V accounting and failover tests).
+    pub agent: BackupAgent,
+    drbd: DrbdPrimary,
+    prepared: bool,
+}
+
+impl std::fmt::Debug for NiLiConEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NiLiConEngine")
+            .field("opts", &self.opts)
+            .field("agent", &self.agent)
+            .finish()
+    }
+}
+
+impl NiLiConEngine {
+    /// New engine. The backup page store follows
+    /// [`OptimizationConfig::optimize_criu`] (radix tree vs linked list).
+    pub fn new(opts: OptimizationConfig, costs: nilicon_sim::CostModel) -> Self {
+        NiLiConEngine {
+            opts,
+            cache: InfrequentCache::new(),
+            agent: BackupAgent::new(costs, opts.optimize_criu),
+            drbd: DrbdPrimary::new(),
+            prepared: false,
+        }
+    }
+
+    /// Active optimization set.
+    pub fn opts(&self) -> OptimizationConfig {
+        self.opts
+    }
+
+    fn transfer_cost(&self, primary: &Kernel, bytes: u64, msgs: u64) -> Nanos {
+        let c = &primary.costs;
+        let mut t = c.repl_link_latency + c.repl_wire(bytes) + msgs * c.repl_msg_overhead;
+        if self.opts.dump_config().via_proxy {
+            t += c.proxy_overhead(bytes, msgs);
+        }
+        t
+    }
+}
+
+impl Checkpointer for NiLiConEngine {
+    fn name(&self) -> &'static str {
+        "NiLiCon"
+    }
+
+    fn prepare(&mut self, primary: &mut Kernel, container: &Container) -> SimResult<()> {
+        // Arm soft-dirty tracking on every container address space. No
+        // clear_refs here: everything the application wrote during init is
+        // still soft-dirty, so the first incremental checkpoint captures the
+        // full initial state (the initial sync).
+        let mode = if self.opts.pml_tracking {
+            TrackingMode::HardwareLog
+        } else {
+            TrackingMode::SoftDirty
+        };
+        for pid in container.all_pids() {
+            primary.mm_mut(pid)?.set_tracking(mode);
+        }
+        // Input-blocking mechanism (§V-C).
+        let mode = if self.opts.plug_input_blocking {
+            InputMode::Buffer
+        } else {
+            InputMode::Drop
+        };
+        primary
+            .stack_mut(container.ns.net)?
+            .input_gate
+            .set_mode(mode);
+        // Output commit: plug the egress qdisc for the whole run.
+        primary.stack_mut(container.ns.net)?.plugged = true;
+        self.prepared = true;
+        Ok(())
+    }
+
+    fn checkpoint(
+        &mut self,
+        primary: &mut Kernel,
+        backup: &mut Kernel,
+        container: &Container,
+        epoch: u64,
+    ) -> SimResult<CheckpointOutcome> {
+        if !self.prepared {
+            return Err(SimError::Invalid("engine not prepared".into()));
+        }
+        let cfg = self.opts.dump_config();
+        primary.meter.take();
+
+        // --- Stop phase -------------------------------------------------
+        primary.freeze_cgroup(container.cgroup, cfg.freeze)?;
+        // Block network input (§III): even frozen, RX would mutate state.
+        let block_cost = if self.opts.plug_input_blocking {
+            primary.costs.plug_block_cycle
+        } else {
+            primary.costs.firewall_block_cycle
+        };
+        primary.meter.charge(block_cost);
+        primary.stack_mut(container.ns.net)?.block_input();
+
+        // Incremental dump.
+        let cache = if self.opts.cache_infrequent {
+            Some(&mut self.cache)
+        } else {
+            None
+        };
+        let img = dump_container(primary, container, &cfg, cache, epoch)?;
+        let dirty_pages = img.stats.dirty_pages;
+        let state_bytes = img.state_bytes();
+        let chunks = img.transfer_chunks();
+
+        // DRBD: ship this epoch's disk writes + barrier (async — the wire
+        // time of disk writes does not stop the container).
+        let mut msgs = self.drbd.ship(&mut primary.vfs.disk);
+        msgs.push(self.drbd.barrier(epoch));
+        let drbd_bytes: u64 = msgs.iter().map(|m| m.wire_bytes()).sum();
+        let drbd_msgs = msgs.len() as u64;
+
+        // Resume.
+        primary.stack_mut(container.ns.net)?.unblock_input();
+        primary.thaw_cgroup(container.cgroup)?;
+        let mut stop_time = primary.meter.take();
+
+        // --- Transfer + ack --------------------------------------------
+        // Without the staging buffer the parasite pipes pages out one at a
+        // time, so the synchronous transfer pays per-page message overheads
+        // (part of what §V-D(2)+(3) eliminate).
+        let transfer_msgs = if self.opts.staging_buffer {
+            chunks
+        } else {
+            chunks + dirty_pages
+        };
+        let transfer =
+            self.transfer_cost(primary, state_bytes + drbd_bytes, transfer_msgs + drbd_msgs);
+        let mut backup_cpu = self.agent.ingest(img);
+        backup_cpu += self.agent.ingest_drbd(msgs);
+
+        let ack_delay = if self.opts.staging_buffer {
+            // §V-D(2): transfer overlaps the next execution phase; the ack
+            // (and output release) lands after wire + backup receive.
+            transfer + backup_cpu + primary.costs.repl_link_latency
+        } else {
+            // Without staging, the container stays stopped until the backup
+            // has consumed the state — transfer, receive, and inline commit
+            // are all on the critical path.
+            let commit_cpu = self.agent.commit(epoch, &mut backup.vfs.disk)?;
+            stop_time += transfer + backup_cpu + commit_cpu + primary.costs.repl_link_latency;
+            0
+        };
+
+        Ok(CheckpointOutcome {
+            stop_time,
+            state_bytes: state_bytes + drbd_bytes,
+            dirty_pages,
+            ack_delay,
+            backup_cpu,
+        })
+    }
+
+    fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos> {
+        if self.opts.staging_buffer {
+            self.agent.commit(epoch, &mut backup.vfs.disk)
+        } else {
+            Ok(0) // already committed inline during the stop phase
+        }
+    }
+
+    fn failover(&mut self, backup: &mut Kernel) -> SimResult<(RestoredContainer, FailoverReport)> {
+        self.agent.discard_uncommitted();
+        let img = self.agent.materialize()?;
+        let restore_cfg = RestoreConfig {
+            optimized_rto: self.opts.optimized_rto,
+            block_input: true,
+        };
+        backup.meter.take();
+        let restored = nilicon_criu::restore_container(backup, &img, &restore_cfg)?;
+        backup.meter.take();
+
+        let c = &backup.costs;
+        let rto = if self.opts.optimized_rto {
+            c.tcp_rto_repair_min
+        } else {
+            c.tcp_rto_default
+        };
+        // Sockets come back roughly half-way through the restore (fd-table
+        // restoration precedes page loading for later processes); the RTO
+        // runs concurrently with the remaining restore and the ARP
+        // broadcast. Table II reports only the non-overlapped remainder.
+        let tcp = rto.saturating_sub(restored.restore_time / 2 + c.gratuitous_arp);
+        let report = FailoverReport {
+            restore: restored.restore_time,
+            arp: c.gratuitous_arp,
+            tcp,
+            others: c.recovery_misc,
+            disk_pages_committed: 0,
+        };
+        Ok((restored, report))
+    }
+
+    fn committed_epoch(&self) -> Option<u64> {
+        self.agent.committed_epoch()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilicon_container::{ContainerRuntime, ContainerSpec, MemLayout};
+    use nilicon_sim::time::MILLISECOND;
+
+    fn setup() -> (Kernel, Kernel, Container, NiLiConEngine) {
+        let mut primary = Kernel::default();
+        let backup = Kernel::default();
+        let spec = ContainerSpec::server("redis", 10, 6379);
+        let c = ContainerRuntime::create(&mut primary, &spec).unwrap();
+        let engine = NiLiConEngine::new(OptimizationConfig::nilicon(), primary.costs.clone());
+        (primary, backup, c, engine)
+    }
+
+    #[test]
+    fn checkpoint_requires_prepare() {
+        let (mut p, mut b, c, mut e) = setup();
+        assert!(e.checkpoint(&mut p, &mut b, &c, 1).is_err());
+    }
+
+    #[test]
+    fn epoch_cycle_ships_state_to_backup() {
+        let (mut p, mut b, c, mut e) = setup();
+        e.prepare(&mut p, &c).unwrap();
+        p.mem_write(c.init_pid(), MemLayout::heap(0), b"epoch1")
+            .unwrap();
+        let o1 = e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        assert_eq!(o1.dirty_pages, 1);
+        assert!(o1.stop_time > 0);
+        assert!(o1.ack_delay > 0, "staged: ack after resume");
+        e.commit(&mut b, 1).unwrap();
+        assert_eq!(e.committed_epoch(), Some(1));
+        assert_eq!(e.agent.stored_pages(), 1);
+
+        // Clean epoch: nothing dirty.
+        let o2 = e.checkpoint(&mut p, &mut b, &c, 2).unwrap();
+        assert_eq!(o2.dirty_pages, 0);
+        assert!(o2.state_bytes < o1.state_bytes);
+    }
+
+    #[test]
+    fn warm_stop_time_is_small_with_all_optimizations() {
+        let (mut p, mut b, c, mut e) = setup();
+        e.prepare(&mut p, &c).unwrap();
+        // Warm the cache.
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        p.mem_write(c.init_pid(), MemLayout::heap(0), b"x").unwrap();
+        let o = e.checkpoint(&mut p, &mut b, &c, 2).unwrap();
+        assert!(
+            o.stop_time < 15 * MILLISECOND,
+            "optimized warm stop for a small container, got {}ms",
+            o.stop_time / MILLISECOND
+        );
+    }
+
+    #[test]
+    fn basic_config_stop_time_is_huge() {
+        let mut p = Kernel::default();
+        let mut b = Kernel::default();
+        let spec = ContainerSpec::server("redis", 10, 6379);
+        let c = ContainerRuntime::create(&mut p, &spec).unwrap();
+        let mut e = NiLiConEngine::new(OptimizationConfig::basic(), p.costs.clone());
+        e.prepare(&mut p, &c).unwrap();
+        let o = e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        assert!(
+            o.stop_time > 250 * MILLISECOND,
+            "basic = freeze sleep + full infrequent collect + sync transfer, got {}ms",
+            o.stop_time / MILLISECOND
+        );
+        assert_eq!(o.ack_delay, 0, "no staging buffer: ack inside stop");
+        assert_eq!(e.committed_epoch(), Some(1), "inline commit");
+    }
+
+    #[test]
+    fn failover_restores_committed_state_only() {
+        let (mut p, mut b, c, mut e) = setup();
+        e.prepare(&mut p, &c).unwrap();
+        p.mem_write(c.init_pid(), MemLayout::heap(0), b"committed")
+            .unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        // Epoch 2 checkpoint arrives but is never acked/committed.
+        p.mem_write(c.init_pid(), MemLayout::heap(0), b"uncommitt")
+            .unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 2).unwrap();
+
+        let (restored, report) = e.failover(&mut b).unwrap();
+        restored.finish(&mut b).unwrap();
+        let mut buf = [0u8; 9];
+        b.mem_read(restored.container.init_pid(), MemLayout::heap(0), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"committed");
+        assert!(report.restore > 100 * MILLISECOND);
+        assert_eq!(report.arp, 28 * MILLISECOND);
+        assert_eq!(report.others, 7 * MILLISECOND);
+    }
+
+    #[test]
+    fn failover_without_any_commit_fails_cleanly() {
+        let (mut _p, mut b, _c, mut e) = setup();
+        assert!(e.failover(&mut b).is_err());
+    }
+
+    #[test]
+    fn disk_writes_replicate_through_drbd() {
+        let (mut p, mut b, c, mut e) = setup();
+        e.prepare(&mut p, &c).unwrap();
+        let pid = c.init_pid();
+        let fd = p.create_file(pid, "/data/wal", 0).unwrap();
+        p.pwrite(pid, fd, 0, b"logged", 1).unwrap();
+        p.fsync(pid, fd).unwrap(); // hits the primary disk + DRBD log
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        assert_eq!(
+            p.vfs.disk.digest(),
+            b.vfs.disk.digest(),
+            "backup disk in sync"
+        );
+    }
+
+    #[test]
+    fn tcp_component_shrinks_with_longer_restore() {
+        // Table II: Net (fast restore) has a LARGER TCP remainder than Redis
+        // (slow restore) because more of the RTO overlaps recovery work.
+        let (mut p, mut b, c, mut e) = setup();
+        e.prepare(&mut p, &c).unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        let (_r, fast) = e.failover(&mut b).unwrap();
+
+        // Bulkier container -> longer restore.
+        let (mut p2, mut b2, c2, mut e2) = setup();
+        e2.prepare(&mut p2, &c2).unwrap();
+        for page in 0..3000u64 {
+            p2.mem_write(c2.init_pid(), MemLayout::heap_page(page), &[7])
+                .unwrap();
+        }
+        e2.checkpoint(&mut p2, &mut b2, &c2, 1).unwrap();
+        e2.commit(&mut b2, 1).unwrap();
+        let (_r2, slow) = e2.failover(&mut b2).unwrap();
+
+        assert!(slow.restore > fast.restore);
+        assert!(slow.tcp <= fast.tcp, "more RTO overlap with longer restore");
+    }
+}

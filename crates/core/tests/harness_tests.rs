@@ -1,0 +1,404 @@
+//! Harness-level tests with a minimal in-crate echo workload (no dependency
+//! on `nilicon-workloads`): epoch mechanics, output commit timing, heartbeat
+//! plumbing, failover sequencing, and engine ablations.
+
+use nilicon::harness::{RunHarness, RunMode};
+use nilicon::traffic::ClientBehavior;
+use nilicon::{NiLiConEngine, OptimizationConfig, ReplicationConfig};
+use nilicon_container::{Application, ContainerSpec, GuestCtx, RequestOutcome, StepOutcome};
+use nilicon_sim::time::{Nanos, MILLISECOND};
+use nilicon_sim::{CostModel, SimResult};
+
+/// Trivial echo server that stages bytes through guest memory.
+struct Echo;
+
+impl Application for Echo {
+    fn name(&self) -> &str {
+        "echo"
+    }
+    fn init(&mut self, _ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        Ok(())
+    }
+    fn handle_request(&mut self, ctx: &mut GuestCtx<'_>, req: &[u8]) -> SimResult<RequestOutcome> {
+        ctx.cpu(50_000);
+        ctx.heap_write(0, req)?;
+        let mut back = vec![0u8; req.len()];
+        ctx.heap_read(0, &mut back)?;
+        Ok(RequestOutcome { response: back })
+    }
+}
+
+/// Counter app: writes a monotone counter into guest memory each step.
+struct Counter {
+    limit: u64,
+}
+
+impl Application for Counter {
+    fn name(&self) -> &str {
+        "counter"
+    }
+    fn is_server(&self) -> bool {
+        false
+    }
+    fn init(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        ctx.heap_write(0, &0u64.to_le_bytes())
+    }
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<StepOutcome> {
+        ctx.cpu(1_000_000);
+        let mut buf = [0u8; 8];
+        ctx.heap_read(0, &mut buf)?;
+        let n = u64::from_le_bytes(buf) + 1;
+        ctx.heap_write(0, &n.to_le_bytes())?;
+        Ok(StepOutcome {
+            done: n >= self.limit,
+        })
+    }
+}
+
+/// Simple validating client set.
+struct Clients {
+    n: usize,
+    sent: Vec<Option<Vec<u8>>>,
+    ok: u64,
+    bad: u64,
+    seq: u64,
+}
+
+impl Clients {
+    fn new(n: usize) -> Self {
+        Clients {
+            n,
+            sent: vec![None; n],
+            ok: 0,
+            bad: 0,
+            seq: 0,
+        }
+    }
+}
+
+impl ClientBehavior for Clients {
+    fn client_count(&self) -> usize {
+        self.n
+    }
+    fn next_request(&mut self, idx: usize, _now: Nanos) -> Option<Vec<u8>> {
+        self.seq += 1;
+        let payload = format!("client-{idx}-seq-{}", self.seq).into_bytes();
+        self.sent[idx] = Some(payload.clone());
+        Some(payload)
+    }
+    fn on_response(&mut self, idx: usize, resp: &[u8], _now: Nanos, _latency: Nanos) {
+        match self.sent[idx].take() {
+            Some(s) if s == resp => self.ok += 1,
+            _ => self.bad += 1,
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if self.bad == 0 {
+            Ok(())
+        } else {
+            Err(format!("{} bad echoes", self.bad))
+        }
+    }
+}
+
+fn spec() -> ContainerSpec {
+    let mut s = ContainerSpec::server("echo", 10, 9000);
+    s.heap_pages = 64;
+    s
+}
+
+fn nilicon() -> RunMode {
+    RunMode::Replicated(Box::new(NiLiConEngine::new(
+        OptimizationConfig::nilicon(),
+        CostModel::default(),
+    )))
+}
+
+#[test]
+fn epochs_advance_virtual_time_exactly() {
+    let mut h = RunHarness::new(
+        spec(),
+        Box::new(Echo),
+        Some(Box::new(Clients::new(2))),
+        RunMode::Unreplicated,
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    h.run_epochs(10).unwrap();
+    let r = h.finish();
+    assert_eq!(r.metrics.elapsed, 300 * MILLISECOND, "10 × 30ms, no stops");
+    assert_eq!(r.metrics.epochs.len(), 10);
+    r.verify.unwrap();
+}
+
+#[test]
+fn replicated_epochs_include_stop_time() {
+    let mut h = RunHarness::new(
+        spec(),
+        Box::new(Echo),
+        Some(Box::new(Clients::new(2))),
+        nilicon(),
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    h.run_epochs(10).unwrap();
+    let r = h.finish();
+    assert!(r.metrics.elapsed > 300 * MILLISECOND);
+    let total_stop: Nanos = r.metrics.epochs.iter().map(|e| e.stop_time).sum();
+    assert_eq!(r.metrics.elapsed, 300 * MILLISECOND + total_stop);
+    assert!(r.metrics.epochs.iter().all(|e| e.stop_time > 0));
+}
+
+#[test]
+fn responses_wait_for_commit_under_replication() {
+    // Replicated echo latency must exceed unreplicated by at least the
+    // commit wait; both must validate.
+    let run = |mode: RunMode| {
+        let mut h = RunHarness::new(
+            spec(),
+            Box::new(Echo),
+            Some(Box::new(Clients::new(1))),
+            mode,
+            ReplicationConfig::default(),
+            1.0,
+        )
+        .unwrap();
+        h.run_epochs(20).unwrap();
+        let r = h.finish();
+        r.verify.unwrap();
+        r.metrics.mean_latency()
+    };
+    let stock = run(RunMode::Unreplicated);
+    let repl = run(nilicon());
+    assert!(
+        repl > stock + 5 * MILLISECOND,
+        "repl {repl} vs stock {stock}"
+    );
+}
+
+#[test]
+fn batch_counter_is_exact_without_faults() {
+    let mut s = ContainerSpec::batch("counter", 10);
+    s.heap_pages = 64;
+    let mut h = RunHarness::new(
+        s,
+        Box::new(Counter { limit: 500 }),
+        None,
+        nilicon(),
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    h.run_batch_to_completion(1000).unwrap();
+    assert!(h.batch_done());
+    let r = h.finish();
+    assert_eq!(
+        r.metrics.steps_total, 500,
+        "every step counted exactly once"
+    );
+}
+
+#[test]
+fn failover_mid_batch_never_double_counts() {
+    // The counter lives in guest memory; a failover rolls back to the last
+    // commit and re-executes — the FINAL value must still be exactly the
+    // limit (exactly-once effect via state rollback + re-execution).
+    let mut s = ContainerSpec::batch("counter", 10);
+    s.heap_pages = 64;
+    let mut h = RunHarness::new(
+        s,
+        Box::new(Counter { limit: 800 }),
+        None,
+        nilicon(),
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    h.inject_fault_at(200 * MILLISECOND);
+    h.run_batch_to_completion(2000).unwrap();
+    assert!(h.on_backup());
+    // Read the counter from the restored guest memory.
+    let pid = h.container().init_pid();
+    let backup = h.backup;
+    let mut buf = [0u8; 8];
+    h.cluster
+        .host_mut(backup)
+        .mem_read(pid, nilicon_container::MemLayout::heap(0), &mut buf)
+        .unwrap();
+    assert_eq!(
+        u64::from_le_bytes(buf),
+        800,
+        "counter is exact despite rollback"
+    );
+}
+
+#[test]
+fn fault_before_first_commit_is_survivable() {
+    // Fault during the very first epoch: the backup holds only the initial
+    // sync... which is only shipped at the end of epoch 0. A fault *before*
+    // any commit must fail over to the initial state (epoch-0 checkpoint
+    // commits before the fault at 40ms only if epoch 0 completed at ~30ms).
+    let mut h = RunHarness::new(
+        spec(),
+        Box::new(Echo),
+        Some(Box::new(Clients::new(1))),
+        nilicon(),
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    h.inject_fault_at(40 * MILLISECOND);
+    h.run_epochs(20).unwrap();
+    let r = h.finish();
+    assert!(r.recovered);
+    assert_eq!(r.broken_connections, 0);
+    r.verify.unwrap();
+}
+
+#[test]
+fn detection_latency_within_paper_band() {
+    for fault_ms in [100u64, 217, 333, 450] {
+        let mut h = RunHarness::new(
+            spec(),
+            Box::new(Echo),
+            Some(Box::new(Clients::new(1))),
+            nilicon(),
+            ReplicationConfig::default(),
+            1.0,
+        )
+        .unwrap();
+        h.inject_fault_at(fault_ms * MILLISECOND);
+        h.run_epochs(30).unwrap();
+        let r = h.finish();
+        let d = r.detection_latency.unwrap();
+        assert!(
+            (50 * MILLISECOND..=160 * MILLISECOND).contains(&d),
+            "fault@{fault_ms}ms: detection {}ms",
+            d / MILLISECOND
+        );
+    }
+}
+
+#[test]
+fn firewall_input_blocking_costs_more_per_epoch() {
+    let run = |plug: bool| {
+        let mut opts = OptimizationConfig::nilicon();
+        opts.plug_input_blocking = plug;
+        let mode = RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())));
+        let mut h = RunHarness::new(
+            spec(),
+            Box::new(Echo),
+            Some(Box::new(Clients::new(1))),
+            mode,
+            ReplicationConfig::default(),
+            1.0,
+        )
+        .unwrap();
+        h.run_epochs(10).unwrap();
+        h.finish().metrics.avg_stop()
+    };
+    let plug = run(true);
+    let firewall = run(false);
+    let delta = firewall.saturating_sub(plug);
+    assert!(
+        (6 * MILLISECOND..8 * MILLISECOND).contains(&delta),
+        "§V-C: firewall adds ~7ms/epoch, got {}us",
+        delta / 1000
+    );
+}
+
+#[test]
+fn injected_fault_into_unreplicated_run_errors() {
+    let mut h = RunHarness::new(
+        spec(),
+        Box::new(Echo),
+        Some(Box::new(Clients::new(1))),
+        RunMode::Unreplicated,
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    h.inject_fault_at(50 * MILLISECOND);
+    assert!(
+        h.run_epochs(10).is_err(),
+        "unreplicated runs cannot fail over"
+    );
+}
+
+#[test]
+fn tracking_overhead_recorded_for_replicated_only() {
+    let run = |mode: RunMode| {
+        let mut h = RunHarness::new(
+            spec(),
+            Box::new(Echo),
+            Some(Box::new(Clients::new(2))),
+            mode,
+            ReplicationConfig::default(),
+            1.0,
+        )
+        .unwrap();
+        h.run_epochs(10).unwrap();
+        let r = h.finish();
+        r.metrics
+            .epochs
+            .iter()
+            .map(|e| e.tracking_overhead)
+            .sum::<Nanos>()
+    };
+    assert_eq!(run(RunMode::Unreplicated), 0);
+    assert!(run(nilicon()) > 0, "soft-dirty faults metered");
+}
+
+#[test]
+fn pml_extension_eliminates_tracking_faults() {
+    // The §VIII/Phantasy-style extension: hardware page-modification logging
+    // removes per-write tracking faults entirely; correctness is unchanged.
+    let run = |pml: bool| {
+        let mut opts = OptimizationConfig::nilicon();
+        opts.pml_tracking = pml;
+        let mode = RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())));
+        let mut h = RunHarness::new(
+            spec(),
+            Box::new(Echo),
+            Some(Box::new(Clients::new(2))),
+            mode,
+            ReplicationConfig::default(),
+            1.0,
+        )
+        .unwrap();
+        h.run_epochs(12).unwrap();
+        let r = h.finish();
+        r.verify.unwrap();
+        let tracking: Nanos = r.metrics.epochs.iter().map(|e| e.tracking_overhead).sum();
+        (tracking, r.metrics.avg_dirty_pages())
+    };
+    let (soft_tracking, soft_dirty) = run(false);
+    let (pml_tracking, pml_dirty) = run(true);
+    assert!(soft_tracking > 0);
+    assert_eq!(pml_tracking, 0, "PML takes no per-write faults");
+    assert_eq!(soft_dirty, pml_dirty, "identical dirty sets either way");
+}
+
+#[test]
+fn pml_extension_survives_failover() {
+    let mut opts = OptimizationConfig::nilicon();
+    opts.pml_tracking = true;
+    let mode = RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())));
+    let mut h = RunHarness::new(
+        spec(),
+        Box::new(Echo),
+        Some(Box::new(Clients::new(2))),
+        mode,
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    h.inject_fault_at(250 * MILLISECOND);
+    h.run_epochs(25).unwrap();
+    let r = h.finish();
+    assert!(r.recovered);
+    assert_eq!(r.broken_connections, 0);
+    r.verify.unwrap();
+}

@@ -1,0 +1,209 @@
+//! Property tests for the NLCN binary image codec: decode(encode(x)) == x
+//! over randomized images, and random mutation never panics the decoder.
+
+use nilicon_criu::{decode_image, encode_image, CheckpointImage, ProcessImage};
+use nilicon_sim::cgroup::Cgroup;
+use nilicon_sim::fs::{Inode, Mount};
+use nilicon_sim::ids::{AsId, CgroupId, Endpoint, Fd, Ino, MountId, NsId, Pid, SockId, Tid};
+use nilicon_sim::mem::{MappedFile, Perms, Vma, VmaKind};
+use nilicon_sim::net::RepairState;
+use nilicon_sim::ns::{Namespace, NsKind, NsSet};
+use nilicon_sim::proc::{FdEntry, SchedPolicy, Thread, Timer};
+use nilicon_sim::PAGE_SIZE;
+use proptest::prelude::*;
+
+fn arb_vma() -> impl Strategy<Value = Vma> {
+    (
+        0u64..1000,
+        1u64..64,
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        proptest::option::of(0u64..99),
+    )
+        .prop_map(|(startp, pages, w, x, heap, file)| Vma {
+            start: startp * PAGE_SIZE as u64,
+            len: pages * PAGE_SIZE as u64,
+            perms: Perms { r: true, w, x },
+            kind: match file {
+                Some(ino) => VmaKind::File(MappedFile {
+                    ino: Ino(ino),
+                    file_off: 0,
+                }),
+                None => VmaKind::Anon,
+            },
+            is_heap: heap,
+            is_stack: false,
+        })
+}
+
+fn arb_thread() -> impl Strategy<Value = Thread> {
+    (
+        any::<u32>(),
+        any::<u64>(),
+        any::<u64>(),
+        any::<u64>(),
+        0u8..3,
+        proptest::collection::vec((any::<u64>(), any::<u64>()), 0..3),
+    )
+        .prop_map(|(tid, rip, rsp, sigmask, sched, timers)| {
+            let mut t = Thread::new(Tid(tid));
+            t.regs.rip = rip;
+            t.regs.rsp = rsp;
+            t.sigmask = sigmask;
+            t.sched = match sched {
+                0 => SchedPolicy::Normal,
+                1 => SchedPolicy::Batch,
+                _ => SchedPolicy::Fifo(7),
+            };
+            t.timers = timers
+                .into_iter()
+                .map(|(e, i)| Timer {
+                    expires_at: e,
+                    interval: i,
+                })
+                .collect();
+            t
+        })
+}
+
+fn arb_image() -> impl Strategy<Value = CheckpointImage> {
+    (
+        any::<u64>(),
+        "[a-z]{1,12}",
+        any::<u32>(),
+        proptest::collection::vec(arb_thread(), 1..4),
+        proptest::collection::vec(arb_vma(), 0..5),
+        proptest::collection::vec((any::<u32>(), 0u64..1u64 << 30, any::<u8>()), 0..20),
+        proptest::collection::vec(any::<u16>(), 0..4),
+        proptest::collection::vec(
+            (
+                any::<u32>(),
+                any::<u16>(),
+                any::<u32>(),
+                any::<u32>(),
+                proptest::collection::vec(any::<u8>(), 0..200),
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(
+            |(epoch, name, addr, threads, vmas, pages, listeners, socks)| {
+                let mut img = CheckpointImage {
+                    epoch,
+                    name,
+                    addr,
+                    ns: Some(NsSet {
+                        pid: NsId(1),
+                        net: NsId(2),
+                        mnt: NsId(3),
+                        uts: NsId(4),
+                        ipc: NsId(5),
+                        user: NsId(6),
+                    }),
+                    ..Default::default()
+                };
+                img.processes.push(ProcessImage {
+                    pid: Pid(100),
+                    ppid: Pid(1),
+                    mm: AsId(1),
+                    exe: "/bin/app".into(),
+                    threads,
+                    fds: vec![
+                        (
+                            Fd(3),
+                            FdEntry::File {
+                                ino: Ino(9),
+                                offset: 44,
+                                flags: 1,
+                            },
+                        ),
+                        (Fd(4), FdEntry::Socket(SockId(2))),
+                    ],
+                    vmas,
+                });
+                for (pid, vpn, tag) in pages {
+                    img.pages.push((Pid(pid), vpn, Box::new([tag; PAGE_SIZE])));
+                }
+                img.listeners = listeners;
+                for (a, p, snd, rcv, q) in socks {
+                    img.sockets.push(RepairState {
+                        local: Endpoint::new(a, p),
+                        remote: Endpoint::new(a ^ 1, p ^ 1),
+                        snd_nxt: snd,
+                        snd_una: snd.wrapping_sub(q.len() as u32),
+                        rcv_nxt: rcv,
+                        write_queue: q.clone(),
+                        read_queue: q,
+                    });
+                }
+                img.namespaces.push(Namespace {
+                    id: NsId(4),
+                    kind: NsKind::Uts,
+                    config: b"h".to_vec(),
+                });
+                img.cgroups.push(Cgroup::new(CgroupId(1), "/docker/x"));
+                img.mounts.push(Mount {
+                    id: MountId(1),
+                    source: "overlay".into(),
+                    target: "/".into(),
+                    fstype: "overlay".into(),
+                });
+                img.fs_inodes.push(Inode::regular(Ino(9)));
+                img.paths.push(("/data/f".into(), Ino(9)));
+                img.stats.dirty_pages = img.pages.len() as u64;
+                img
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip(img in arb_image()) {
+        let bytes = encode_image(&img);
+        let back = decode_image(&bytes).expect("decodes");
+        prop_assert_eq!(back.epoch, img.epoch);
+        prop_assert_eq!(&back.name, &img.name);
+        prop_assert_eq!(back.addr, img.addr);
+        prop_assert_eq!(back.ns, img.ns);
+        prop_assert_eq!(back.listeners, img.listeners);
+        prop_assert_eq!(back.sockets, img.sockets);
+        prop_assert_eq!(back.pages.len(), img.pages.len());
+        for (a, b) in back.pages.iter().zip(&img.pages) {
+            prop_assert_eq!((a.0, a.1), (b.0, b.1));
+            prop_assert_eq!(&a.2[..], &b.2[..]);
+        }
+        prop_assert_eq!(back.processes.len(), 1);
+        prop_assert_eq!(&back.processes[0].fds, &img.processes[0].fds);
+        prop_assert_eq!(&back.processes[0].vmas, &img.processes[0].vmas);
+        prop_assert_eq!(back.processes[0].threads.len(), img.processes[0].threads.len());
+        for (a, b) in back.processes[0].threads.iter().zip(&img.processes[0].threads) {
+            prop_assert_eq!(a.regs, b.regs);
+            prop_assert_eq!(a.sigmask, b.sigmask);
+            prop_assert_eq!(&a.timers, &b.timers);
+            prop_assert_eq!(a.sched, b.sched);
+        }
+        prop_assert_eq!(&back.namespaces, &img.namespaces);
+        prop_assert_eq!(&back.mounts, &img.mounts);
+        prop_assert_eq!(&back.fs_inodes, &img.fs_inodes);
+        prop_assert_eq!(&back.paths, &img.paths);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_mutation(
+        img in arb_image(),
+        flips in proptest::collection::vec((any::<prop::sample::Index>(), any::<u8>()), 1..8),
+        cut in any::<prop::sample::Index>(),
+    ) {
+        let mut bytes = encode_image(&img);
+        for (idx, val) in flips {
+            let i = idx.index(bytes.len());
+            bytes[i] ^= val;
+        }
+        let _ = decode_image(&bytes); // must not panic
+        let n = cut.index(bytes.len());
+        let _ = decode_image(&bytes[..n]); // truncation must not panic
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests: page-store equivalence and incremental-equals-full
+//! (DESIGN.md invariants 3 and 4).
+
+use nilicon_criu::{LinkedListStore, PageKey, PageStore, RadixTreeStore};
+use nilicon_sim::ids::Pid;
+use nilicon_sim::PAGE_SIZE;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+fn page(tag: u8) -> Box<[u8; PAGE_SIZE]> {
+    Box::new([tag; PAGE_SIZE])
+}
+
+/// A random incremental-checkpoint schedule: per checkpoint, a set of
+/// `(pid, vpn, tag)` page writes.
+fn schedule() -> impl Strategy<Value = Vec<Vec<(u32, u64, u8)>>> {
+    proptest::collection::vec(
+        proptest::collection::vec((1..4u32, 0..200u64, any::<u8>()), 0..30),
+        1..15,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn radix_equals_linked_list(checkpoints in schedule()) {
+        let mut radix = RadixTreeStore::new();
+        let mut list = LinkedListStore::new();
+        for ckpt in &checkpoints {
+            radix.begin_checkpoint();
+            list.begin_checkpoint();
+            for &(pid, vpn, tag) in ckpt {
+                radix.insert(PageKey { pid: Pid(pid), vpn }, page(tag));
+                list.insert(PageKey { pid: Pid(pid), vpn }, page(tag));
+            }
+        }
+        prop_assert_eq!(radix.len(), list.len());
+        let a: Vec<(PageKey, u8)> =
+            radix.iter_sorted().iter().map(|(k, p)| (*k, p[0])).collect();
+        let b: Vec<(PageKey, u8)> =
+            list.iter_sorted().iter().map(|(k, p)| (*k, p[0])).collect();
+        prop_assert_eq!(a, b, "observationally equivalent stores (§V-A)");
+    }
+
+    #[test]
+    fn incremental_replay_equals_final_state(checkpoints in schedule()) {
+        // Replaying every incremental checkpoint through the store must
+        // reproduce exactly the last-writer-wins final state.
+        let mut store = RadixTreeStore::new();
+        let mut model: BTreeMap<(u32, u64), u8> = BTreeMap::new();
+        for ckpt in &checkpoints {
+            store.begin_checkpoint();
+            for &(pid, vpn, tag) in ckpt {
+                store.insert(PageKey { pid: Pid(pid), vpn }, page(tag));
+                model.insert((pid, vpn), tag);
+            }
+        }
+        prop_assert_eq!(store.len(), model.len());
+        for (&(pid, vpn), &tag) in &model {
+            let got = store.get(PageKey { pid: Pid(pid), vpn }).expect("page present");
+            prop_assert_eq!(got[0], tag);
+            prop_assert_eq!(got[PAGE_SIZE - 1], tag);
+        }
+        // Sorted iteration covers exactly the model's keys, in order.
+        let keys: Vec<(u32, u64)> =
+            store.iter_sorted().iter().map(|(k, _)| (k.pid.0, k.vpn)).collect();
+        let want: Vec<(u32, u64)> = model.keys().copied().collect();
+        prop_assert_eq!(keys, want);
+    }
+
+    #[test]
+    fn probe_counts_bounded(checkpoints in schedule()) {
+        // Radix inserts are always 4 probes; list probes equal the chain
+        // length (grows by one per checkpoint) — the §V-A complexity claim.
+        let mut radix = RadixTreeStore::new();
+        let mut list = LinkedListStore::new();
+        for (i, ckpt) in checkpoints.iter().enumerate() {
+            radix.begin_checkpoint();
+            list.begin_checkpoint();
+            for &(pid, vpn, tag) in ckpt {
+                let rp = radix.insert(PageKey { pid: Pid(pid), vpn }, page(tag));
+                prop_assert_eq!(rp, 4);
+                let lp = list.insert(PageKey { pid: Pid(pid), vpn }, page(tag));
+                prop_assert_eq!(lp as usize, i + 1, "list probes = chain length");
+            }
+        }
+    }
+}

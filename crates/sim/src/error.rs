@@ -1,0 +1,107 @@
+//! Error type shared across the simulated kernel.
+
+use crate::ids::{Fd, Ino, Pid, SockId};
+use std::fmt;
+
+/// Result alias used throughout the simulation.
+pub type SimResult<T> = Result<T, SimError>;
+
+/// Errors produced by simulated kernel operations.
+///
+/// These correspond loosely to errno values a real kernel would return; the
+/// variants carry enough context to debug a failing replication run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Referenced process does not exist (ESRCH).
+    NoSuchProcess(Pid),
+    /// Referenced file descriptor is not open in the process (EBADF).
+    BadFd(Pid, Fd),
+    /// Referenced inode does not exist (ENOENT by number).
+    NoSuchInode(Ino),
+    /// Path lookup failed (ENOENT).
+    NoSuchPath(String),
+    /// Path already exists (EEXIST).
+    PathExists(String),
+    /// Referenced socket does not exist (EBADF/ENOTSOCK).
+    NoSuchSocket(SockId),
+    /// Socket operation invalid in its current state (EINVAL/EPIPE).
+    InvalidSocketState {
+        sock: SockId,
+        op: &'static str,
+        state: &'static str,
+    },
+    /// Address/port already bound (EADDRINUSE).
+    AddrInUse(u16),
+    /// Connection refused — no listener at the destination (ECONNREFUSED).
+    ConnRefused,
+    /// Connection was reset by the peer (ECONNRESET).
+    ConnReset,
+    /// Memory access outside any VMA (SIGSEGV).
+    Segfault { addr: u64 },
+    /// mmap/brk request invalid (ENOMEM/EINVAL).
+    BadMapping(String),
+    /// Operation requires the target to be frozen (or not frozen).
+    FreezerState(&'static str),
+    /// Socket repair-mode operation attempted without repair mode on (EPERM).
+    NotInRepairMode(SockId),
+    /// Checkpoint/restore image inconsistency detected.
+    ImageCorrupt(String),
+    /// Generic invalid-argument error (EINVAL).
+    Invalid(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::NoSuchProcess(p) => write!(f, "no such process: {p}"),
+            SimError::BadFd(p, fd) => write!(f, "bad fd {fd} in {p}"),
+            SimError::NoSuchInode(i) => write!(f, "no such inode: {i}"),
+            SimError::NoSuchPath(p) => write!(f, "no such path: {p}"),
+            SimError::PathExists(p) => write!(f, "path exists: {p}"),
+            SimError::NoSuchSocket(s) => write!(f, "no such socket: {s}"),
+            SimError::InvalidSocketState { sock, op, state } => {
+                write!(f, "socket {sock}: cannot {op} in state {state}")
+            }
+            SimError::AddrInUse(port) => write!(f, "port {port} already in use"),
+            SimError::ConnRefused => write!(f, "connection refused"),
+            SimError::ConnReset => write!(f, "connection reset by peer"),
+            SimError::Segfault { addr } => write!(f, "segfault at {addr:#x}"),
+            SimError::BadMapping(m) => write!(f, "bad mapping: {m}"),
+            SimError::FreezerState(m) => write!(f, "freezer state error: {m}"),
+            SimError::NotInRepairMode(s) => write!(f, "socket {s} not in repair mode"),
+            SimError::ImageCorrupt(m) => write!(f, "checkpoint image corrupt: {m}"),
+            SimError::Invalid(m) => write!(f, "invalid argument: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::NoSuchProcess(Pid(3)).to_string(),
+            "no such process: pid:3"
+        );
+        assert_eq!(
+            SimError::AddrInUse(80).to_string(),
+            "port 80 already in use"
+        );
+        let e = SimError::InvalidSocketState {
+            sock: SockId(1),
+            op: "send",
+            state: "Listen",
+        };
+        assert_eq!(e.to_string(), "socket sock:1: cannot send in state Listen");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(SimError::ConnRefused);
+        assert_eq!(e.to_string(), "connection refused");
+    }
+}

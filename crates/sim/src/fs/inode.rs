@@ -1,0 +1,114 @@
+//! Inodes.
+
+use crate::ids::Ino;
+use serde::{Deserialize, Serialize};
+
+/// What an inode names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InodeKind {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Device file (part of the infrequently-modified state set, §V-B).
+    Device,
+}
+
+/// Inode metadata.
+///
+/// The `dnc` bit is the paper's new inode-cache state: set whenever metadata
+/// changes, collected and cleared by `fgetfc`, restored with `chown`-style
+/// syscalls (§III).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Inode {
+    /// Inode number.
+    pub ino: Ino,
+    /// Kind.
+    pub kind: InodeKind,
+    /// File size in bytes.
+    pub size: u64,
+    /// Permission bits (e.g. 0o644).
+    pub mode: u32,
+    /// Owner uid.
+    pub uid: u32,
+    /// Owner gid.
+    pub gid: u32,
+    /// Modification time, virtual nanos.
+    pub mtime: u64,
+    /// Dirty-but-Not-Checkpointed: metadata changed since last `fgetfc`.
+    pub dnc: bool,
+}
+
+impl Inode {
+    /// A fresh regular file inode.
+    pub fn regular(ino: Ino) -> Self {
+        Inode {
+            ino,
+            kind: InodeKind::Regular,
+            size: 0,
+            mode: 0o644,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+            dnc: true,
+        }
+    }
+
+    /// A fresh directory inode.
+    pub fn directory(ino: Ino) -> Self {
+        Inode {
+            ino,
+            kind: InodeKind::Directory,
+            size: 0,
+            mode: 0o755,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+            dnc: true,
+        }
+    }
+
+    /// A fresh device inode.
+    pub fn device(ino: Ino) -> Self {
+        Inode {
+            ino,
+            kind: InodeKind::Device,
+            size: 0,
+            mode: 0o600,
+            uid: 0,
+            gid: 0,
+            mtime: 0,
+            dnc: true,
+        }
+    }
+
+    /// Record a metadata mutation at time `now`.
+    pub fn touch_meta(&mut self, now: u64) {
+        self.mtime = now;
+        self.dnc = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let f = Inode::regular(Ino(1));
+        assert_eq!(f.kind, InodeKind::Regular);
+        assert_eq!(f.mode, 0o644);
+        assert!(f.dnc, "fresh inode has uncheckpointed metadata");
+        assert_eq!(Inode::directory(Ino(2)).kind, InodeKind::Directory);
+        assert_eq!(Inode::device(Ino(3)).kind, InodeKind::Device);
+    }
+
+    #[test]
+    fn touch_meta_sets_dnc() {
+        let mut f = Inode::regular(Ino(1));
+        f.dnc = false;
+        f.touch_meta(42);
+        assert!(f.dnc);
+        assert_eq!(f.mtime, 42);
+    }
+}

@@ -1,0 +1,15 @@
+//! Simulated VFS: inodes, page cache with DNC tracking, paths, and mounts.
+//!
+//! The page-cache DNC ("Dirty but Not Checkpointed") bit and the `fgetfc`
+//! syscall are the paper's §III kernel changes: instead of flushing the file
+//! system cache every epoch (CRIU's NAS-based approach, "prohibitive overhead
+//! of up to hundreds of milliseconds"), NiLiCon checkpoints exactly the cache
+//! entries modified since the previous checkpoint.
+
+mod inode;
+mod pagecache;
+mod vfs;
+
+pub use inode::{Inode, InodeKind};
+pub use pagecache::{CachePage, FsCacheCheckpoint, PageCache};
+pub use vfs::{Mount, Vfs, VfsStats};

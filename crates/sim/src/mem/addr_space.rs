@@ -1,0 +1,562 @@
+//! Address spaces: the per-process `mm_struct`.
+
+use super::page::PageFrame;
+use super::vma::{MappedFile, Perms, Vma, VmaKind};
+use super::TrackingMode;
+use crate::error::{SimError, SimResult};
+use crate::PAGE_SIZE;
+use std::collections::{BTreeMap, HashMap};
+
+const PS: u64 = PAGE_SIZE as u64;
+
+/// Outcome of a memory write: how many tracking faults it took.
+///
+/// The kernel converts fault counts into charged time using the active
+/// [`TrackingMode`]'s per-fault cost; the replication runtime attributes that
+/// time to the container's *runtime overhead* component (Fig. 3 breakdown).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WriteOutcome {
+    /// Pages that took a first-write tracking fault during this write.
+    pub tracking_faults: u32,
+    /// Pages newly materialized (previously unbacked).
+    pub pages_materialized: u32,
+}
+
+impl WriteOutcome {
+    fn absorb(&mut self, other: WriteOutcome) {
+        self.tracking_faults += other.tracking_faults;
+        self.pages_materialized += other.pages_materialized;
+    }
+}
+
+/// A simulated address space: VMAs + page table.
+#[derive(Debug, Default)]
+pub struct AddressSpace {
+    /// VMAs keyed by start address.
+    vmas: BTreeMap<u64, Vma>,
+    /// Materialized frames keyed by virtual page number.
+    frames: HashMap<u64, PageFrame>,
+    /// Current dirty-tracking mode.
+    tracking: TrackingMode,
+    /// Current heap break (end of the heap VMA), if a heap exists.
+    brk: Option<u64>,
+}
+
+impl AddressSpace {
+    /// Empty address space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    // ------------------------------------------------------------------
+    // Mapping management
+    // ------------------------------------------------------------------
+
+    /// Map a VMA. Addresses and length must be page aligned and must not
+    /// overlap an existing VMA.
+    pub fn mmap(&mut self, vma: Vma) -> SimResult<()> {
+        if !vma.start.is_multiple_of(PS) || !vma.len.is_multiple_of(PS) || vma.len == 0 {
+            return Err(SimError::BadMapping(format!(
+                "unaligned or empty mapping {:#x}+{:#x}",
+                vma.start, vma.len
+            )));
+        }
+        if self.overlaps(vma.start, vma.len) {
+            return Err(SimError::BadMapping(format!(
+                "mapping {:#x}+{:#x} overlaps an existing VMA",
+                vma.start, vma.len
+            )));
+        }
+        if vma.is_heap {
+            self.brk = Some(vma.end());
+        }
+        self.vmas.insert(vma.start, vma);
+        Ok(())
+    }
+
+    /// Convenience: map an anonymous RW region.
+    pub fn mmap_anon(&mut self, start: u64, len: u64) -> SimResult<()> {
+        self.mmap(Vma {
+            start,
+            len,
+            perms: Perms::RW,
+            kind: VmaKind::Anon,
+            is_heap: false,
+            is_stack: false,
+        })
+    }
+
+    /// Convenience: map a file-backed region.
+    pub fn mmap_file(
+        &mut self,
+        start: u64,
+        len: u64,
+        mf: MappedFile,
+        perms: Perms,
+    ) -> SimResult<()> {
+        self.mmap(Vma {
+            start,
+            len,
+            perms,
+            kind: VmaKind::File(mf),
+            is_heap: false,
+            is_stack: false,
+        })
+    }
+
+    /// Unmap the VMA starting at `start`, dropping its frames.
+    pub fn munmap(&mut self, start: u64) -> SimResult<Vma> {
+        let vma = self
+            .vmas
+            .remove(&start)
+            .ok_or_else(|| SimError::BadMapping(format!("no VMA at {start:#x}")))?;
+        let first = vma.first_vpn();
+        for vpn in first..first + vma.pages() {
+            self.frames.remove(&vpn);
+        }
+        if vma.is_heap {
+            self.brk = None;
+        }
+        Ok(vma)
+    }
+
+    /// Grow (or shrink) the heap VMA to end at `new_brk` (page aligned up).
+    /// Returns the new break. Requires a heap VMA to exist.
+    pub fn brk(&mut self, new_brk: u64) -> SimResult<u64> {
+        let heap_start = self
+            .vmas
+            .values()
+            .find(|v| v.is_heap)
+            .map(|v| v.start)
+            .ok_or_else(|| SimError::BadMapping("no heap VMA".into()))?;
+        let aligned = new_brk.div_ceil(PS) * PS;
+        if aligned <= heap_start {
+            return Err(SimError::BadMapping("brk below heap start".into()));
+        }
+        // Reject if growth would collide with the next VMA.
+        if let Some((&next_start, _)) = self.vmas.range(heap_start + 1..).next() {
+            if aligned > next_start {
+                return Err(SimError::BadMapping("brk collides with next VMA".into()));
+            }
+        }
+        let heap = self.vmas.get_mut(&heap_start).expect("heap vma exists");
+        let old_end = heap.end();
+        heap.len = aligned - heap_start;
+        // Drop frames beyond a shrunken break.
+        if aligned < old_end {
+            for vpn in aligned / PS..old_end / PS {
+                self.frames.remove(&vpn);
+            }
+        }
+        self.brk = Some(aligned);
+        Ok(aligned)
+    }
+
+    /// Current heap break.
+    pub fn current_brk(&self) -> Option<u64> {
+        self.brk
+    }
+
+    fn overlaps(&self, start: u64, len: u64) -> bool {
+        let end = start + len;
+        // Predecessor VMA may extend into us; successor may start before our end.
+        if let Some((_, prev)) = self.vmas.range(..=start).next_back() {
+            if prev.end() > start {
+                return true;
+            }
+        }
+        self.vmas.range(start..end).next().is_some()
+    }
+
+    /// The VMA containing `addr`.
+    pub fn vma_at(&self, addr: u64) -> Option<&Vma> {
+        self.vmas
+            .range(..=addr)
+            .next_back()
+            .map(|(_, v)| v)
+            .filter(|v| v.contains(addr))
+    }
+
+    /// Iterate over all VMAs in address order.
+    pub fn vmas(&self) -> impl Iterator<Item = &Vma> {
+        self.vmas.values()
+    }
+
+    /// Number of VMAs.
+    pub fn vma_count(&self) -> usize {
+        self.vmas.len()
+    }
+
+    /// Number of mapped file VMAs (each costs one `stat` in a stock dump).
+    pub fn mapped_file_count(&self) -> usize {
+        self.vmas
+            .values()
+            .filter(|v| matches!(v.kind, VmaKind::File(_)))
+            .count()
+    }
+
+    /// Total pages spanned by all VMAs (the pagemap scan length).
+    pub fn mapped_pages(&self) -> u64 {
+        self.vmas.values().map(Vma::pages).sum()
+    }
+
+    /// Number of materialized (resident) frames.
+    pub fn resident_pages(&self) -> usize {
+        self.frames.len()
+    }
+
+    // ------------------------------------------------------------------
+    // Access
+    // ------------------------------------------------------------------
+
+    /// Read `buf.len()` bytes at `addr`. Unmaterialized pages read as zeros.
+    pub fn read(&self, addr: u64, buf: &mut [u8]) -> SimResult<()> {
+        self.check_range(addr, buf.len() as u64, false)?;
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < buf.len() {
+            let vpn = cur / PS;
+            let in_page = (cur % PS) as usize;
+            let n = (PAGE_SIZE - in_page).min(buf.len() - off);
+            match self.frames.get(&vpn) {
+                Some(f) => buf[off..off + n].copy_from_slice(&f.bytes()[in_page..in_page + n]),
+                None => buf[off..off + n].fill(0),
+            }
+            off += n;
+            cur += n as u64;
+        }
+        Ok(())
+    }
+
+    /// Write `data` at `addr`, materializing frames, setting soft-dirty bits,
+    /// and counting tracking faults per the active mode.
+    pub fn write(&mut self, addr: u64, data: &[u8]) -> SimResult<WriteOutcome> {
+        self.check_range(addr, data.len() as u64, true)?;
+        let mut out = WriteOutcome::default();
+        let mut off = 0usize;
+        let mut cur = addr;
+        while off < data.len() {
+            let vpn = cur / PS;
+            let in_page = (cur % PS) as usize;
+            let n = (PAGE_SIZE - in_page).min(data.len() - off);
+            out.absorb(self.touch_page(vpn));
+            let f = self.frames.get_mut(&vpn).expect("touch_page materialized");
+            f.bytes_mut()[in_page..in_page + n].copy_from_slice(&data[off..off + n]);
+            off += n;
+            cur += n as u64;
+        }
+        Ok(out)
+    }
+
+    /// Mark a page written without supplying contents (used by workloads that
+    /// model "dirty a page" without meaningful data — e.g. scratch buffers).
+    pub fn touch(&mut self, addr: u64) -> SimResult<WriteOutcome> {
+        self.check_range(addr, 1, true)?;
+        Ok(self.touch_page(addr / PS))
+    }
+
+    fn touch_page(&mut self, vpn: u64) -> WriteOutcome {
+        let mut out = WriteOutcome::default();
+        let frame = self.frames.entry(vpn).or_insert_with(|| {
+            out.pages_materialized += 1;
+            let mut f = PageFrame::zeroed();
+            // A fresh frame under tracking counts as armed: its first write
+            // (this one) faults.
+            f.tracked_clean = true;
+            f
+        });
+        let fault = match self.tracking {
+            TrackingMode::None | TrackingMode::HardwareLog => false,
+            TrackingMode::SoftDirty | TrackingMode::WriteProtect => frame.tracked_clean,
+        };
+        if fault {
+            out.tracking_faults += 1;
+        }
+        frame.tracked_clean = false;
+        frame.soft_dirty = true;
+        out
+    }
+
+    fn check_range(&self, addr: u64, len: u64, need_write: bool) -> SimResult<()> {
+        if len == 0 {
+            return Ok(());
+        }
+        let mut cur = addr;
+        let end = addr + len;
+        while cur < end {
+            let vma = self.vma_at(cur).ok_or(SimError::Segfault { addr: cur })?;
+            if need_write && !vma.perms.w {
+                return Err(SimError::Segfault { addr: cur });
+            }
+            cur = vma.end();
+        }
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty tracking
+    // ------------------------------------------------------------------
+
+    /// Set the tracking mode (soft-dirty for NiLiCon, write-protect for MC).
+    pub fn set_tracking(&mut self, mode: TrackingMode) {
+        self.tracking = mode;
+    }
+
+    /// Current tracking mode.
+    pub fn tracking(&self) -> TrackingMode {
+        self.tracking
+    }
+
+    /// `/proc/pid/clear_refs` equivalent: clear all soft-dirty bits and
+    /// re-arm tracking on every resident frame. Returns the number of frames
+    /// walked (the kernel charges `clear_refs_per_page` each).
+    pub fn clear_refs(&mut self) -> u64 {
+        let mut walked = 0;
+        for f in self.frames.values_mut() {
+            f.soft_dirty = false;
+            f.tracked_clean = true;
+            walked += 1;
+        }
+        walked
+    }
+
+    /// `/proc/pid/pagemap` equivalent: virtual page numbers of frames with
+    /// the soft-dirty bit set, in ascending order. The kernel charges
+    /// `pagemap_scan_per_page` for every *mapped* page scanned, not only the
+    /// dirty ones — the scan walks the whole address space (§VII-C).
+    pub fn soft_dirty_vpns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .frames
+            .iter()
+            .filter(|(_, f)| f.soft_dirty)
+            .map(|(&vpn, _)| vpn)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Count of currently soft-dirty frames.
+    pub fn soft_dirty_count(&self) -> usize {
+        self.frames.values().filter(|f| f.soft_dirty).count()
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint support
+    // ------------------------------------------------------------------
+
+    /// Copy out one page's contents (zeros if unmaterialized but mapped).
+    pub fn snapshot_page(&self, vpn: u64) -> SimResult<Box<[u8; PAGE_SIZE]>> {
+        let addr = vpn * PS;
+        self.vma_at(addr).ok_or(SimError::Segfault { addr })?;
+        Ok(match self.frames.get(&vpn) {
+            Some(f) => f.snapshot(),
+            None => Box::new([0u8; PAGE_SIZE]),
+        })
+    }
+
+    /// Install page contents at restore time (does not set soft-dirty: a
+    /// freshly restored container starts with a clean tracking slate).
+    pub fn install_page(&mut self, vpn: u64, data: &[u8; PAGE_SIZE]) -> SimResult<()> {
+        let addr = vpn * PS;
+        self.vma_at(addr).ok_or(SimError::Segfault { addr })?;
+        let mut f = PageFrame::from_bytes(data);
+        f.soft_dirty = false;
+        f.tracked_clean = true;
+        self.frames.insert(vpn, f);
+        Ok(())
+    }
+
+    /// All resident (materialized) vpns in ascending order — a *full* dump.
+    pub fn resident_vpns(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.frames.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space_with_heap() -> AddressSpace {
+        let mut a = AddressSpace::new();
+        a.mmap(Vma {
+            start: 0x10000,
+            len: 0x10000, // 16 pages
+            perms: Perms::RW,
+            kind: VmaKind::Anon,
+            is_heap: true,
+            is_stack: false,
+        })
+        .unwrap();
+        a
+    }
+
+    #[test]
+    fn rw_roundtrip_and_zero_fill() {
+        let mut a = space_with_heap();
+        let mut buf = [0u8; 4];
+        a.read(0x10010, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4], "untouched memory reads as zeros");
+        a.write(0x10010, b"abcd").unwrap();
+        a.read(0x10010, &mut buf).unwrap();
+        assert_eq!(&buf, b"abcd");
+    }
+
+    #[test]
+    fn cross_page_write() {
+        let mut a = space_with_heap();
+        let addr = 0x10000 + PS - 2; // straddles a page boundary
+        a.write(addr, b"wxyz").unwrap();
+        let mut buf = [0u8; 4];
+        a.read(addr, &mut buf).unwrap();
+        assert_eq!(&buf, b"wxyz");
+        assert_eq!(a.resident_pages(), 2);
+    }
+
+    #[test]
+    fn segfault_outside_vma() {
+        let mut a = space_with_heap();
+        assert!(matches!(
+            a.write(0x1000, b"x"),
+            Err(SimError::Segfault { .. })
+        ));
+        let mut b = [0u8; 1];
+        assert!(a.read(0xFFFF_0000, &mut b).is_err());
+    }
+
+    #[test]
+    fn write_to_readonly_faults() {
+        let mut a = AddressSpace::new();
+        a.mmap(Vma {
+            start: 0x1000,
+            len: 0x1000,
+            perms: Perms::R,
+            kind: VmaKind::Anon,
+            is_heap: false,
+            is_stack: false,
+        })
+        .unwrap();
+        assert!(a.write(0x1000, b"x").is_err());
+        let mut buf = [0u8; 1];
+        assert!(a.read(0x1000, &mut buf).is_ok());
+    }
+
+    #[test]
+    fn soft_dirty_tracking_counts_first_writes_only() {
+        let mut a = space_with_heap();
+        a.set_tracking(TrackingMode::SoftDirty);
+        a.write(0x10000, b"seed").unwrap();
+        a.clear_refs();
+        assert_eq!(a.soft_dirty_count(), 0);
+
+        let o1 = a.write(0x10000, b"one").unwrap();
+        assert_eq!(o1.tracking_faults, 1);
+        let o2 = a.write(0x10002, b"two").unwrap();
+        assert_eq!(
+            o2.tracking_faults, 0,
+            "second write to the same page is free"
+        );
+        let o3 = a.write(0x12000, b"three").unwrap();
+        assert_eq!(o3.tracking_faults, 1, "fresh page under tracking faults");
+        assert_eq!(a.soft_dirty_vpns(), vec![0x10, 0x12]);
+    }
+
+    #[test]
+    fn clear_refs_rearms() {
+        let mut a = space_with_heap();
+        a.set_tracking(TrackingMode::SoftDirty);
+        a.write(0x10000, b"x").unwrap();
+        let walked = a.clear_refs();
+        assert_eq!(walked, 1);
+        let o = a.write(0x10000, b"y").unwrap();
+        assert_eq!(o.tracking_faults, 1, "fault re-armed after clear_refs");
+    }
+
+    #[test]
+    fn no_tracking_no_faults() {
+        let mut a = space_with_heap();
+        let o = a.write(0x10000, b"x").unwrap();
+        assert_eq!(o.tracking_faults, 0);
+        assert!(
+            a.frames.get(&0x10).unwrap().soft_dirty,
+            "soft-dirty bit set regardless"
+        );
+    }
+
+    #[test]
+    fn mmap_rejects_overlap_and_misalignment() {
+        let mut a = space_with_heap();
+        assert!(a.mmap_anon(0x10000, 0x1000).is_err(), "exact overlap");
+        assert!(a.mmap_anon(0x1F000, 0x2000).is_err(), "tail overlap");
+        assert!(a.mmap_anon(0x30001, 0x1000).is_err(), "misaligned start");
+        assert!(a.mmap_anon(0x30000, 0).is_err(), "empty");
+        assert!(a.mmap_anon(0x20000, 0x1000).is_ok(), "adjacent is fine");
+    }
+
+    #[test]
+    fn brk_grows_and_shrinks() {
+        let mut a = space_with_heap();
+        assert_eq!(a.current_brk(), Some(0x20000));
+        let nb = a.brk(0x28001).unwrap();
+        assert_eq!(nb, 0x29000, "rounded up to a page");
+        a.write(0x28000, b"deep").unwrap();
+        assert_eq!(a.brk(0x21000).unwrap(), 0x21000);
+        let mut buf = [0u8; 4];
+        a.read(0x20000, &mut buf).unwrap(); // still inside
+        assert!(a.read(0x28000, &mut buf).is_err(), "shrunk region unmapped");
+    }
+
+    #[test]
+    fn brk_collision_with_next_vma() {
+        let mut a = space_with_heap();
+        a.mmap_anon(0x30000, 0x1000).unwrap();
+        assert!(a.brk(0x30000).is_ok(), "may abut");
+        assert!(a.brk(0x31000).is_err(), "may not overlap");
+    }
+
+    #[test]
+    fn snapshot_install_roundtrip() {
+        let mut a = space_with_heap();
+        a.write(0x11000, b"persist me").unwrap();
+        let snap = a.snapshot_page(0x11).unwrap();
+
+        let mut b = space_with_heap();
+        b.install_page(0x11, &snap).unwrap();
+        let mut buf = [0u8; 10];
+        b.read(0x11000, &mut buf).unwrap();
+        assert_eq!(&buf, b"persist me");
+        assert_eq!(b.soft_dirty_count(), 0, "restored pages start clean");
+    }
+
+    #[test]
+    fn counters() {
+        let mut a = space_with_heap();
+        a.mmap_file(
+            0x40000,
+            0x2000,
+            MappedFile {
+                ino: crate::ids::Ino(5),
+                file_off: 0,
+            },
+            Perms::RX,
+        )
+        .unwrap();
+        assert_eq!(a.vma_count(), 2);
+        assert_eq!(a.mapped_file_count(), 1);
+        assert_eq!(a.mapped_pages(), 16 + 2);
+        a.write(0x10000, b"x").unwrap();
+        assert_eq!(a.resident_vpns(), vec![0x10]);
+    }
+
+    #[test]
+    fn munmap_drops_frames() {
+        let mut a = space_with_heap();
+        a.mmap_anon(0x40000, 0x1000).unwrap();
+        a.write(0x40000, b"gone").unwrap();
+        let v = a.munmap(0x40000).unwrap();
+        assert_eq!(v.len, 0x1000);
+        assert_eq!(a.resident_pages(), 0);
+        assert!(a.munmap(0x40000).is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! A physical page frame with real contents and tracking bits.
+
+use crate::PAGE_SIZE;
+
+/// One 4 KiB page frame.
+///
+/// Frames materialize lazily on first write; a virtual page with no frame
+/// reads as zeros, exactly like an untouched anonymous mapping.
+#[derive(Clone)]
+pub struct PageFrame {
+    data: Box<[u8; PAGE_SIZE]>,
+    /// Soft-dirty bit: set on write, cleared by `clear_refs`.
+    pub soft_dirty: bool,
+    /// Tracking armed: the *next* write to this frame takes a tracking fault.
+    pub tracked_clean: bool,
+}
+
+impl std::fmt::Debug for PageFrame {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PageFrame")
+            .field("soft_dirty", &self.soft_dirty)
+            .field("tracked_clean", &self.tracked_clean)
+            .field("first_bytes", &&self.data[..8])
+            .finish()
+    }
+}
+
+impl Default for PageFrame {
+    fn default() -> Self {
+        PageFrame {
+            data: Box::new([0u8; PAGE_SIZE]),
+            soft_dirty: false,
+            tracked_clean: false,
+        }
+    }
+}
+
+impl PageFrame {
+    /// A zeroed frame.
+    pub fn zeroed() -> Self {
+        Self::default()
+    }
+
+    /// A frame initialized with `data` starting at offset 0 (rest zeroed).
+    pub fn from_bytes(data: &[u8]) -> Self {
+        let mut f = Self::default();
+        let n = data.len().min(PAGE_SIZE);
+        f.data[..n].copy_from_slice(&data[..n]);
+        f
+    }
+
+    /// Read-only view of the page contents.
+    #[inline]
+    pub fn bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.data
+    }
+
+    /// Mutable view of the page contents. Callers are responsible for dirty
+    /// accounting — use [`crate::mem::AddressSpace`] APIs in normal paths.
+    #[inline]
+    pub fn bytes_mut(&mut self) -> &mut [u8; PAGE_SIZE] {
+        &mut self.data
+    }
+
+    /// Copy the page out (e.g. into a checkpoint staging buffer).
+    pub fn snapshot(&self) -> Box<[u8; PAGE_SIZE]> {
+        self.data.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_from_bytes() {
+        let z = PageFrame::zeroed();
+        assert!(z.bytes().iter().all(|&b| b == 0));
+        let f = PageFrame::from_bytes(&[1, 2, 3]);
+        assert_eq!(&f.bytes()[..4], &[1, 2, 3, 0]);
+        assert!(!f.soft_dirty);
+    }
+
+    #[test]
+    fn from_bytes_truncates_oversized_input() {
+        let big = vec![0xAB; PAGE_SIZE + 100];
+        let f = PageFrame::from_bytes(&big);
+        assert_eq!(f.bytes()[PAGE_SIZE - 1], 0xAB);
+    }
+
+    #[test]
+    fn snapshot_is_independent() {
+        let mut f = PageFrame::from_bytes(b"hello");
+        let snap = f.snapshot();
+        f.bytes_mut()[0] = b'X';
+        assert_eq!(&snap[..5], b"hello");
+        assert_eq!(f.bytes()[0], b'X');
+    }
+}

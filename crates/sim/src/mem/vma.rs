@@ -1,0 +1,135 @@
+//! Virtual memory areas.
+
+use crate::ids::Ino;
+use crate::PAGE_SIZE;
+use serde::{Deserialize, Serialize};
+
+/// Page protection bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Perms {
+    /// Readable.
+    pub r: bool,
+    /// Writable.
+    pub w: bool,
+    /// Executable.
+    pub x: bool,
+}
+
+impl Perms {
+    /// `rw-`
+    pub const RW: Perms = Perms {
+        r: true,
+        w: true,
+        x: false,
+    };
+    /// `r--`
+    pub const R: Perms = Perms {
+        r: true,
+        w: false,
+        x: false,
+    };
+    /// `r-x`
+    pub const RX: Perms = Perms {
+        r: true,
+        w: false,
+        x: true,
+    };
+}
+
+/// A file mapping's backing reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MappedFile {
+    /// Backing inode.
+    pub ino: Ino,
+    /// Offset into the file at which the mapping starts (page aligned).
+    pub file_off: u64,
+}
+
+/// What backs a VMA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VmaKind {
+    /// Anonymous memory (heap, stack, anonymous mmap).
+    Anon,
+    /// A file-backed mapping (dynamically linked libraries, mmap'ed data).
+    /// These contribute the per-file `stat` costs of §V cause (1).
+    File(MappedFile),
+}
+
+/// One virtual memory area.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vma {
+    /// Start address (page aligned).
+    pub start: u64,
+    /// Length in bytes (page aligned).
+    pub len: u64,
+    /// Protection.
+    pub perms: Perms,
+    /// Backing.
+    pub kind: VmaKind,
+    /// Marks the heap VMA (grown by `brk`).
+    pub is_heap: bool,
+    /// Marks a stack VMA.
+    pub is_stack: bool,
+}
+
+impl Vma {
+    /// Exclusive end address.
+    #[inline]
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether `addr` falls inside this VMA.
+    #[inline]
+    pub fn contains(&self, addr: u64) -> bool {
+        addr >= self.start && addr < self.end()
+    }
+
+    /// Number of pages spanned.
+    #[inline]
+    pub fn pages(&self) -> u64 {
+        self.len / PAGE_SIZE as u64
+    }
+
+    /// First virtual page number.
+    #[inline]
+    pub fn first_vpn(&self) -> u64 {
+        self.start / PAGE_SIZE as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vma(start: u64, len: u64) -> Vma {
+        Vma {
+            start,
+            len,
+            perms: Perms::RW,
+            kind: VmaKind::Anon,
+            is_heap: false,
+            is_stack: false,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let v = vma(0x1000, 0x3000);
+        assert_eq!(v.end(), 0x4000);
+        assert_eq!(v.pages(), 3);
+        assert_eq!(v.first_vpn(), 1);
+        assert!(v.contains(0x1000));
+        assert!(v.contains(0x3fff));
+        assert!(!v.contains(0x4000));
+        assert!(!v.contains(0xfff));
+    }
+
+    #[test]
+    fn perms_constants() {
+        let (rw, rx, r) = (Perms::RW, Perms::RX, Perms::R);
+        assert!(rw.w && !rw.x);
+        assert!(rx.x && !rx.w);
+        assert!(r.r && !r.w && !r.x);
+    }
+}

@@ -1,0 +1,9 @@
+//! Processes, threads, and the cgroup freezer.
+
+mod freezer;
+mod process;
+mod thread;
+
+pub use freezer::{freeze, thaw, FreezeReport, FreezeStrategy};
+pub use process::{FdEntry, Process};
+pub use thread::{RegisterFile, SchedPolicy, Thread, ThreadRunState, Timer};

@@ -1,0 +1,278 @@
+//! Virtual time: nanosecond clock, cost meter, and a small event queue.
+//!
+//! Nothing in the simulation ever reads the wall clock. All durations are
+//! virtual nanoseconds ([`Nanos`]); experiment determinism follows.
+
+use std::cell::Cell;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+/// Virtual nanoseconds.
+pub type Nanos = u64;
+
+/// One microsecond in [`Nanos`].
+pub const MICROSECOND: Nanos = 1_000;
+/// One millisecond in [`Nanos`].
+pub const MILLISECOND: Nanos = 1_000_000;
+/// One second in [`Nanos`].
+pub const SECOND: Nanos = 1_000_000_000;
+
+/// Convert microseconds to [`Nanos`].
+#[inline]
+pub const fn us(v: u64) -> Nanos {
+    v * MICROSECOND
+}
+
+/// Convert milliseconds to [`Nanos`].
+#[inline]
+pub const fn ms(v: u64) -> Nanos {
+    v * MILLISECOND
+}
+
+/// Format a duration for human-readable reports (e.g. `7.4ms`, `43µs`).
+pub fn fmt_dur(n: Nanos) -> String {
+    if n >= SECOND {
+        format!("{:.2}s", n as f64 / SECOND as f64)
+    } else if n >= MILLISECOND {
+        format!("{:.2}ms", n as f64 / MILLISECOND as f64)
+    } else if n >= MICROSECOND {
+        format!("{:.1}µs", n as f64 / MICROSECOND as f64)
+    } else {
+        format!("{n}ns")
+    }
+}
+
+/// A shared, monotone virtual clock.
+///
+/// Cloning a `SimClock` yields a handle to the *same* clock (it is an
+/// `Rc<Cell<_>>` internally); the simulation is single-threaded by design, so
+/// no atomics are needed.
+#[derive(Clone, Debug, Default)]
+pub struct SimClock {
+    now: Rc<Cell<Nanos>>,
+}
+
+impl SimClock {
+    /// A new clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time.
+    #[inline]
+    pub fn now(&self) -> Nanos {
+        self.now.get()
+    }
+
+    /// Advance the clock by `delta` nanoseconds.
+    #[inline]
+    pub fn advance(&self, delta: Nanos) {
+        self.now.set(self.now.get() + delta);
+    }
+
+    /// Move the clock forward *to* `t`. Panics if `t` is in the past —
+    /// virtual time is monotone and a backwards jump is always a driver bug.
+    #[inline]
+    pub fn advance_to(&self, t: Nanos) {
+        assert!(
+            t >= self.now.get(),
+            "virtual clock moved backwards: {} -> {}",
+            self.now.get(),
+            t
+        );
+        self.now.set(t);
+    }
+}
+
+/// Accumulates virtual-time costs charged by kernel operations.
+///
+/// The kernel itself never advances a clock: it *meters* the cost of each
+/// operation, and the driver (replication runtime, benchmark harness) decides
+/// which timeline that cost lands on — the primary's stop phase, the backup's
+/// CPU account, a client's request latency, and so on. This is the key
+/// mechanism that lets one kernel implementation serve both sides of the
+/// replication pair without double-counting time.
+#[derive(Debug, Default)]
+pub struct CostMeter {
+    accum: Cell<Nanos>,
+    total: Cell<Nanos>,
+}
+
+impl CostMeter {
+    /// New meter with zero accumulated cost.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `ns` of virtual time.
+    #[inline]
+    pub fn charge(&self, ns: Nanos) {
+        self.accum.set(self.accum.get() + ns);
+        self.total.set(self.total.get() + ns);
+    }
+
+    /// Take (and reset) the cost accumulated since the last `take`.
+    #[inline]
+    pub fn take(&self) -> Nanos {
+        let v = self.accum.get();
+        self.accum.set(0);
+        v
+    }
+
+    /// Cost accumulated since the last [`CostMeter::take`], without resetting.
+    #[inline]
+    pub fn peek(&self) -> Nanos {
+        self.accum.get()
+    }
+
+    /// Total cost ever charged to this meter (never reset).
+    #[inline]
+    pub fn lifetime_total(&self) -> Nanos {
+        self.total.get()
+    }
+}
+
+/// A timestamped event in the miniature discrete-event queue.
+///
+/// Used by the replication runtime for interleaving client request arrivals,
+/// epoch boundaries, heartbeats, acknowledgments, and fault injections. Events
+/// with equal timestamps pop in insertion order (a stable sequence number
+/// breaks ties), keeping runs deterministic.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Nanos,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// A deterministic min-heap event queue over virtual time.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Scheduled<E>>>,
+    next_seq: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule `event` at absolute virtual time `at`.
+    pub fn schedule(&mut self, at: Nanos, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Scheduled { at, seq, event }));
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<Nanos> {
+        self.heap.peek().map(|Reverse(s)| s.at)
+    }
+
+    /// Pop the earliest event as `(time, event)`.
+    pub fn pop(&mut self) -> Option<(Nanos, E)> {
+        self.heap.pop().map(|Reverse(s)| (s.at, s.event))
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), 0);
+        c.advance(ms(30));
+        assert_eq!(c.now(), 30 * MILLISECOND);
+        let c2 = c.clone();
+        c2.advance(5);
+        assert_eq!(c.now(), 30 * MILLISECOND + 5, "clones share the clock");
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn clock_is_monotone() {
+        let c = SimClock::new();
+        c.advance(100);
+        c.advance_to(50);
+    }
+
+    #[test]
+    fn meter_take_and_total() {
+        let m = CostMeter::new();
+        m.charge(10);
+        m.charge(20);
+        assert_eq!(m.peek(), 30);
+        assert_eq!(m.take(), 30);
+        assert_eq!(m.take(), 0);
+        m.charge(5);
+        assert_eq!(m.lifetime_total(), 35);
+    }
+
+    #[test]
+    fn event_queue_orders_by_time_then_insertion() {
+        let mut q = EventQueue::new();
+        q.schedule(50, "b");
+        q.schedule(10, "a");
+        q.schedule(50, "c");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.peek_time(), Some(10));
+        assert_eq!(q.pop(), Some((10, "a")));
+        assert_eq!(q.pop(), Some((50, "b")), "FIFO among equal timestamps");
+        assert_eq!(q.pop(), Some((50, "c")));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_dur(43 * MICROSECOND), "43.0µs");
+        assert_eq!(fmt_dur(7_400_000), "7.40ms");
+        assert_eq!(fmt_dur(2 * SECOND), "2.00s");
+        assert_eq!(fmt_dur(999), "999ns");
+    }
+
+    #[test]
+    fn unit_helpers() {
+        assert_eq!(us(43), 43_000);
+        assert_eq!(ms(30), 30_000_000);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property tests: soft-dirty tracking against a reference model.
+//!
+//! DESIGN.md invariant 7: after `clear_refs`, `pagemap` returns *exactly*
+//! the set of pages written since — no false dirties, no missed writes —
+//! under arbitrary interleavings of writes, reads, clears, and scans.
+
+use nilicon_sim::mem::{AddressSpace, Perms, TrackingMode, Vma, VmaKind};
+use nilicon_sim::PAGE_SIZE;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const PAGES: u64 = 64;
+const BASE: u64 = 0x10000;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Write { page: u64, off: u64, len: usize },
+    Read { page: u64 },
+    ClearRefs,
+    Scan,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..PAGES, 0..4000u64, 1..64usize).prop_map(|(page, off, len)| Op::Write {
+            page,
+            off,
+            len
+        }),
+        (0..PAGES).prop_map(|page| Op::Read { page }),
+        Just(Op::ClearRefs),
+        Just(Op::Scan),
+    ]
+}
+
+fn space() -> AddressSpace {
+    let mut a = AddressSpace::new();
+    a.mmap(Vma {
+        start: BASE,
+        len: PAGES * PAGE_SIZE as u64,
+        perms: Perms::RW,
+        kind: VmaKind::Anon,
+        is_heap: true,
+        is_stack: false,
+    })
+    .unwrap();
+    a.set_tracking(TrackingMode::SoftDirty);
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pagemap_matches_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let mut a = space();
+        let mut model: BTreeSet<u64> = BTreeSet::new();
+
+        for op in ops {
+            match op {
+                Op::Write { page, off, len } => {
+                    let addr = BASE + page * PAGE_SIZE as u64 + off.min(PAGE_SIZE as u64 - len as u64);
+                    let data = vec![0xAB; len];
+                    a.write(addr, &data).unwrap();
+                    // The write may straddle into the next page.
+                    let first = addr / PAGE_SIZE as u64;
+                    let last = (addr + len as u64 - 1) / PAGE_SIZE as u64;
+                    for vpn in first..=last {
+                        model.insert(vpn);
+                    }
+                }
+                Op::Read { page } => {
+                    let mut buf = [0u8; 32];
+                    a.read(BASE + page * PAGE_SIZE as u64, &mut buf).unwrap();
+                    // Reads never dirty.
+                }
+                Op::ClearRefs => {
+                    a.clear_refs();
+                    model.clear();
+                }
+                Op::Scan => {
+                    let dirty: BTreeSet<u64> = a.soft_dirty_vpns().into_iter().collect();
+                    prop_assert_eq!(&dirty, &model, "scan must match the model exactly");
+                }
+            }
+        }
+        let dirty: BTreeSet<u64> = a.soft_dirty_vpns().into_iter().collect();
+        prop_assert_eq!(dirty, model);
+    }
+
+    #[test]
+    fn tracking_faults_fire_once_per_page_per_generation(
+        pages in proptest::collection::vec(0..PAGES, 1..80)
+    ) {
+        let mut a = space();
+        a.clear_refs();
+        let mut seen = BTreeSet::new();
+        let mut faults = 0u32;
+        for page in pages {
+            let out = a.write(BASE + page * PAGE_SIZE as u64, b"x").unwrap();
+            faults += out.tracking_faults;
+            seen.insert(page);
+        }
+        prop_assert_eq!(faults as usize, seen.len(), "exactly one fault per distinct page");
+    }
+
+    #[test]
+    fn read_write_roundtrip_any_alignment(
+        off in 0..(PAGES - 2) * PAGE_SIZE as u64,
+        data in proptest::collection::vec(any::<u8>(), 1..5000)
+    ) {
+        let mut a = space();
+        a.write(BASE + off, &data).unwrap();
+        let mut back = vec![0u8; data.len()];
+        a.read(BASE + off, &mut back).unwrap();
+        prop_assert_eq!(back, data);
+    }
+
+    #[test]
+    fn snapshot_install_preserves_contents(
+        writes in proptest::collection::vec((0..PAGES, any::<u8>()), 1..40)
+    ) {
+        let mut a = space();
+        for &(page, tag) in &writes {
+            a.write(BASE + page * PAGE_SIZE as u64 + 7, &[tag]).unwrap();
+        }
+        let mut b = space();
+        for vpn in a.resident_vpns() {
+            let snap = a.snapshot_page(vpn).unwrap();
+            b.install_page(vpn, &snap).unwrap();
+        }
+        for &(page, _) in &writes {
+            let vpn = BASE / PAGE_SIZE as u64 + page;
+            prop_assert_eq!(a.snapshot_page(vpn).unwrap(), b.snapshot_page(vpn).unwrap());
+        }
+        prop_assert_eq!(b.soft_dirty_count(), 0, "restored pages start clean");
+    }
+}

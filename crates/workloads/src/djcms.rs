@@ -1,0 +1,196 @@
+//! DJCMS-like content management system (§VI).
+//!
+//! The paper's DJCMS is "a content management system platform that uses
+//! Nginx, Python, and MySQL", evaluated with requests to the administrator
+//! dashboard page. We model the three-process pipeline: an nginx-stage parse,
+//! a Python render over template buffers, and MySQL-stage queries that read
+//! table data through the file system and write session state back — giving
+//! DJCMS its mixed profile: substantial dirty pages (Table III: 3.0 K/epoch),
+//! bursty state sizes (Table IV: 53 KB → 13.3 MB across percentiles), and a
+//! runtime-dominated overhead split like Redis (Fig. 3).
+
+use crate::clients::golden_page;
+use nilicon_container::{Application, GuestCtx, RequestOutcome};
+use nilicon_sim::ids::Fd;
+use nilicon_sim::time::Nanos;
+use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+
+/// The DJCMS-like application.
+#[derive(Debug)]
+pub struct DjcmsApp {
+    /// Template/buffer-pool arena offset.
+    arena_base: u64,
+    /// Arena size in pages.
+    pub arena_pages: u64,
+    /// Buffer-pool pages dirtied per dashboard request.
+    pub churn_pages: u64,
+    /// Table pages read per request (through the page cache).
+    pub table_reads: u64,
+    /// CPU per dashboard request (Table VI stock: ≈89 ms).
+    pub cpu_per_req: Nanos,
+    /// Response size.
+    pub response_len: usize,
+    /// Table file size in pages.
+    pub table_pages: u64,
+    table_fd: Option<Fd>,
+    session_fd: Option<Fd>,
+    next_arena_slot: u64,
+    session_counter: u64,
+}
+
+impl DjcmsApp {
+    /// Default configuration (the 3-process container is set in the spec).
+    pub fn new() -> Self {
+        DjcmsApp {
+            arena_base: 0,
+            arena_pages: 16_000,
+            churn_pages: 5_500,
+            table_reads: 32,
+            cpu_per_req: 85_000_000,
+            response_len: 16_384,
+            table_pages: 512,
+            table_fd: None,
+            session_fd: None,
+            next_arena_slot: 0,
+            session_counter: 0,
+        }
+    }
+
+    /// Heap pages needed.
+    pub fn heap_pages(&self) -> u64 {
+        self.arena_pages + 16
+    }
+}
+
+impl Default for DjcmsApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Application for DjcmsApp {
+    fn name(&self) -> &str {
+        "djcms"
+    }
+
+    fn init(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        // MySQL table file with real rows.
+        let fd = ctx.open_or_create("/data/mysql/cms.ibd")?;
+        for p in 0..self.table_pages {
+            let row = golden_page(p ^ 0xD1CE, 256);
+            ctx.pwrite(fd, p * PAGE_SIZE as u64, &row)?;
+        }
+        ctx.fsync(fd)?;
+        self.table_fd = Some(fd);
+        self.session_fd = Some(ctx.open_or_create("/data/mysql/sessions.ibd")?);
+        Ok(())
+    }
+
+    fn handle_request(&mut self, ctx: &mut GuestCtx<'_>, req: &[u8]) -> SimResult<RequestOutcome> {
+        if req.len() < 4 {
+            return Err(SimError::Invalid("djcms request too short".into()));
+        }
+        let page_id = u32::from_le_bytes(req[0..4].try_into().unwrap());
+        ctx.cpu(self.cpu_per_req);
+        let table_fd = self.table_fd.expect("init ran");
+        let session_fd = self.session_fd.expect("init ran");
+
+        // MySQL stage: read table pages through the page cache.
+        let mut row = vec![0u8; 256];
+        let mut acc = 0u64;
+        for i in 0..self.table_reads {
+            let p = (page_id as u64 * 13 + i * 7) % self.table_pages;
+            ctx.pread(table_fd, p * PAGE_SIZE as u64, &mut row)?;
+            acc = acc.wrapping_add(row[0] as u64);
+        }
+        // Session write-back (dirty page-cache entries → DNC tracking).
+        self.session_counter += 1;
+        let sess_off = (self.session_counter % 256) * 64;
+        ctx.pwrite(session_fd, sess_off, &self.session_counter.to_le_bytes())?;
+
+        // Python render stage: template/buffer-pool churn.
+        for _ in 0..self.churn_pages {
+            let page = self.next_arena_slot % self.arena_pages;
+            self.next_arena_slot += 1;
+            ctx.heap_write(
+                self.arena_base + page * PAGE_SIZE as u64 + (acc % 3500),
+                &page_id.to_le_bytes(),
+            )?;
+        }
+
+        Ok(RequestOutcome {
+            response: golden_page(page_id as u64, self.response_len),
+        })
+    }
+
+    fn recover(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        self.table_fd = Some(ctx.open_or_create("/data/mysql/cms.ibd")?);
+        self.session_fd = Some(ctx.open_or_create("/data/mysql/sessions.ibd")?);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilicon_container::{ContainerRuntime, ContainerSpec};
+    use nilicon_sim::kernel::Kernel;
+
+    fn small() -> DjcmsApp {
+        let mut app = DjcmsApp::new();
+        app.arena_pages = 128;
+        app.churn_pages = 32;
+        app.table_pages = 16;
+        app
+    }
+
+    fn host(app: &DjcmsApp) -> (Kernel, nilicon_sim::ids::Pid) {
+        let mut k = Kernel::default();
+        let mut spec = ContainerSpec::server("djcms", 10, 8000);
+        spec.processes = 3;
+        spec.heap_pages = app.heap_pages();
+        let c = ContainerRuntime::create(&mut k, &spec).unwrap();
+        (k, c.init_pid())
+    }
+
+    #[test]
+    fn dashboard_response_is_golden() {
+        let mut app = small();
+        let (mut k, pid) = host(&app);
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.init(&mut ctx).unwrap();
+        let out = app.handle_request(&mut ctx, &5u32.to_le_bytes()).unwrap();
+        assert_eq!(out.response, golden_page(5, app.response_len));
+    }
+
+    #[test]
+    fn session_writes_dirty_the_fs_cache() {
+        let mut app = small();
+        let (mut k, pid) = host(&app);
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.init(&mut ctx).unwrap();
+        // Drain init's DNC state.
+        k.fgetfc();
+        let mut ctx2 = GuestCtx::new(&mut k, pid, 1);
+        app.handle_request(&mut ctx2, &1u32.to_le_bytes()).unwrap();
+        let (pages, _) = k.fgetfc();
+        assert!(
+            !pages.pages.is_empty(),
+            "session write left DNC cache state"
+        );
+    }
+
+    #[test]
+    fn table_reads_are_cached_not_redirtied() {
+        let mut app = small();
+        let (mut k, pid) = host(&app);
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.init(&mut ctx).unwrap();
+        k.fgetfc();
+        let before = k.vfs.cache.dirty_count();
+        let mut ctx2 = GuestCtx::new(&mut k, pid, 1);
+        app.handle_request(&mut ctx2, &2u32.to_le_bytes()).unwrap();
+        // Only the session page is newly dirty; table reads stay clean.
+        assert!(k.vfs.cache.dirty_count() <= before + 1);
+    }
+}

@@ -1,0 +1,407 @@
+//! A slot-based key-value store living in guest memory, shared by the
+//! Redis-like and SSDB-like benchmarks, plus the batched wire format the
+//! paper's custom client uses (§VI: "each request to Redis/SSDB was a batch
+//! of 1K requests consisting of 50% reads and 50% writes").
+//!
+//! Records are stored at fixed heap offsets (slot-indexed), with a header
+//! carrying the version; every `set` writes real bytes through the simulated
+//! syscall surface, so dirty-page tracking, checkpointing, and failover all
+//! operate on real state. `aux_touch` models the allocator/hash-table
+//! metadata churn real stores exhibit around each operation.
+
+use nilicon_container::GuestCtx;
+use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+
+/// Header bytes per record slot.
+const HEADER: usize = 16; // version u64 + len u32 + checksum u32
+
+/// One operation in a batched request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvOp {
+    /// Store `value` (version-stamped) at `slot`.
+    Set {
+        /// Slot index.
+        slot: u32,
+        /// Client-assigned monotone version.
+        version: u64,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Read `slot`.
+    Get {
+        /// Slot index.
+        slot: u32,
+    },
+}
+
+/// A batched request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvRequest {
+    /// Operations, executed in order.
+    pub ops: Vec<KvOp>,
+}
+
+impl KvRequest {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(16 + self.ops.len() * 24);
+        v.extend_from_slice(&(self.ops.len() as u32).to_le_bytes());
+        for op in &self.ops {
+            match op {
+                KvOp::Set {
+                    slot,
+                    version,
+                    value,
+                } => {
+                    v.push(1);
+                    v.extend_from_slice(&slot.to_le_bytes());
+                    v.extend_from_slice(&version.to_le_bytes());
+                    v.extend_from_slice(&(value.len() as u32).to_le_bytes());
+                    v.extend_from_slice(value);
+                }
+                KvOp::Get { slot } => {
+                    v.push(0);
+                    v.extend_from_slice(&slot.to_le_bytes());
+                }
+            }
+        }
+        v
+    }
+
+    /// Parse from the wire.
+    pub fn decode(buf: &[u8]) -> SimResult<Self> {
+        let err = || SimError::Invalid("malformed kv request".into());
+        let mut i = 0usize;
+        let take = |i: &mut usize, n: usize| -> SimResult<&[u8]> {
+            if *i + n > buf.len() {
+                return Err(err());
+            }
+            let s = &buf[*i..*i + n];
+            *i += n;
+            Ok(s)
+        };
+        let count = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+        let mut ops = Vec::with_capacity(count);
+        for _ in 0..count {
+            let tag = take(&mut i, 1)?[0];
+            let slot = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap());
+            if tag == 1 {
+                let version = u64::from_le_bytes(take(&mut i, 8)?.try_into().unwrap());
+                let len = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+                let value = take(&mut i, len)?.to_vec();
+                ops.push(KvOp::Set {
+                    slot,
+                    version,
+                    value,
+                });
+            } else {
+                ops.push(KvOp::Get { slot });
+            }
+        }
+        Ok(KvRequest { ops })
+    }
+}
+
+/// Response to a batched request.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct KvResponse {
+    /// `(slot, version, value)` for each Get, in request order.
+    pub gets: Vec<(u32, u64, Vec<u8>)>,
+    /// Number of Sets acknowledged.
+    pub sets_acked: u32,
+}
+
+impl KvResponse {
+    /// Serialize for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        v.extend_from_slice(&self.sets_acked.to_le_bytes());
+        v.extend_from_slice(&(self.gets.len() as u32).to_le_bytes());
+        for (slot, version, value) in &self.gets {
+            v.extend_from_slice(&slot.to_le_bytes());
+            v.extend_from_slice(&version.to_le_bytes());
+            v.extend_from_slice(&(value.len() as u32).to_le_bytes());
+            v.extend_from_slice(value);
+        }
+        v
+    }
+
+    /// Parse from the wire.
+    pub fn decode(buf: &[u8]) -> SimResult<Self> {
+        let err = || SimError::Invalid("malformed kv response".into());
+        let mut i = 0usize;
+        let take = |i: &mut usize, n: usize| -> SimResult<&[u8]> {
+            if *i + n > buf.len() {
+                return Err(err());
+            }
+            let s = &buf[*i..*i + n];
+            *i += n;
+            Ok(s)
+        };
+        let sets_acked = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap());
+        let count = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+        let mut gets = Vec::with_capacity(count);
+        for _ in 0..count {
+            let slot = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap());
+            let version = u64::from_le_bytes(take(&mut i, 8)?.try_into().unwrap());
+            let len = u32::from_le_bytes(take(&mut i, 4)?.try_into().unwrap()) as usize;
+            gets.push((slot, version, take(&mut i, len)?.to_vec()));
+        }
+        Ok(KvResponse { gets, sets_acked })
+    }
+}
+
+/// The deterministic value pattern for `(slot, version)` — clients and
+/// servers both compute it, making end-to-end verification possible without
+/// shipping golden data around.
+pub fn value_pattern(slot: u32, version: u64, len: usize) -> Vec<u8> {
+    let mut v = Vec::with_capacity(len);
+    let seed = (slot as u64)
+        .wrapping_mul(0x9E3779B9)
+        .wrapping_add(version.wrapping_mul(31));
+    for i in 0..len {
+        v.push((seed.wrapping_add(i as u64).wrapping_mul(0x2545F4914F6CDD1D) >> 56) as u8);
+    }
+    v
+}
+
+/// The guest-memory store: slot-indexed records + an aux metadata arena.
+#[derive(Debug, Clone, Copy)]
+pub struct GuestKv {
+    /// Heap byte offset of slot 0.
+    pub base: u64,
+    /// Number of slots.
+    pub slots: u32,
+    /// Maximum value size.
+    pub value_size: usize,
+    /// Heap byte offset of the aux (metadata churn) arena.
+    pub aux_base: u64,
+    /// Aux arena size in pages.
+    pub aux_pages: u64,
+}
+
+impl GuestKv {
+    /// Lay out a store with `slots` records of `value_size` bytes starting at
+    /// heap offset `base`, followed by an aux arena of `aux_pages`.
+    pub fn layout(base: u64, slots: u32, value_size: usize, aux_pages: u64) -> Self {
+        let slot_size = Self::slot_size_for(value_size);
+        let data_bytes = slots as u64 * slot_size;
+        let aux_base = (base + data_bytes).div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64;
+        GuestKv {
+            base,
+            slots,
+            value_size,
+            aux_base,
+            aux_pages,
+        }
+    }
+
+    /// Bytes per slot (header + value, 64-byte aligned).
+    pub fn slot_size_for(value_size: usize) -> u64 {
+        ((HEADER + value_size).div_ceil(64) * 64) as u64
+    }
+
+    /// Heap pages the store occupies in total (for container sizing).
+    pub fn heap_pages_needed(&self) -> u64 {
+        (self.aux_base + self.aux_pages * PAGE_SIZE as u64).div_ceil(PAGE_SIZE as u64)
+    }
+
+    fn slot_off(&self, slot: u32) -> SimResult<u64> {
+        if slot >= self.slots {
+            return Err(SimError::Invalid(format!("slot {slot} out of range")));
+        }
+        Ok(self.base + slot as u64 * Self::slot_size_for(self.value_size))
+    }
+
+    /// Store a record: header + value bytes written into guest memory.
+    pub fn set(
+        &self,
+        ctx: &mut GuestCtx<'_>,
+        slot: u32,
+        version: u64,
+        value: &[u8],
+    ) -> SimResult<()> {
+        if value.len() > self.value_size {
+            return Err(SimError::Invalid("value too large".into()));
+        }
+        let off = self.slot_off(slot)?;
+        let mut rec = Vec::with_capacity(HEADER + value.len());
+        rec.extend_from_slice(&version.to_le_bytes());
+        rec.extend_from_slice(&(value.len() as u32).to_le_bytes());
+        rec.extend_from_slice(&checksum(value).to_le_bytes());
+        rec.extend_from_slice(value);
+        ctx.heap_write(off, &rec)
+    }
+
+    /// Load a record: `(version, value)`; an unwritten slot reads as
+    /// `(0, empty)`.
+    pub fn get(&self, ctx: &mut GuestCtx<'_>, slot: u32) -> SimResult<(u64, Vec<u8>)> {
+        let off = self.slot_off(slot)?;
+        let mut hdr = [0u8; HEADER];
+        ctx.heap_read(off, &mut hdr)?;
+        let version = u64::from_le_bytes(hdr[0..8].try_into().unwrap());
+        let len = u32::from_le_bytes(hdr[8..12].try_into().unwrap()) as usize;
+        let sum = u32::from_le_bytes(hdr[12..16].try_into().unwrap());
+        if version == 0 && len == 0 && sum == 0 {
+            // Never-written slot (all-zero header).
+            return Ok((0, Vec::new()));
+        }
+        if len > self.value_size {
+            return Err(SimError::ImageCorrupt(format!(
+                "slot {slot}: bad length {len}"
+            )));
+        }
+        let mut value = vec![0u8; len];
+        ctx.heap_read(off + HEADER as u64, &mut value)?;
+        if checksum(&value) != sum {
+            return Err(SimError::ImageCorrupt(format!(
+                "slot {slot}: checksum mismatch"
+            )));
+        }
+        Ok((version, value))
+    }
+
+    /// Dirty `n` aux-arena pages, picked deterministically from `salt` —
+    /// the metadata/allocator churn around an operation.
+    pub fn aux_touch(&self, ctx: &mut GuestCtx<'_>, salt: u64, n: u64) -> SimResult<()> {
+        for i in 0..n {
+            let h = salt
+                .wrapping_mul(0x9E3779B97F4A7C15)
+                .wrapping_add(i.wrapping_mul(0xBF58476D1CE4E5B9));
+            let page = (h >> 17) % self.aux_pages.max(1);
+            ctx.heap_write(
+                self.aux_base + page * PAGE_SIZE as u64 + (h % 4000),
+                &[h as u8],
+            )?;
+        }
+        Ok(())
+    }
+}
+
+fn checksum(data: &[u8]) -> u32 {
+    let mut h: u32 = 0x811C9DC5;
+    for &b in data {
+        h ^= b as u32;
+        h = h.wrapping_mul(0x01000193);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilicon_container::{ContainerRuntime, ContainerSpec};
+    use nilicon_sim::kernel::Kernel;
+
+    fn ctx_kv() -> (Kernel, nilicon_sim::ids::Pid, GuestKv) {
+        let mut k = Kernel::default();
+        let mut spec = ContainerSpec::server("kv", 10, 1);
+        let kv = GuestKv::layout(0, 100, 256, 16);
+        spec.heap_pages = kv.heap_pages_needed() + 16;
+        let c = ContainerRuntime::create(&mut k, &spec).unwrap();
+        (k, c.init_pid(), kv)
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let (mut k, pid, kv) = ctx_kv();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        let val = value_pattern(5, 1, 200);
+        kv.set(&mut ctx, 5, 1, &val).unwrap();
+        let (ver, got) = kv.get(&mut ctx, 5).unwrap();
+        assert_eq!(ver, 1);
+        assert_eq!(got, val);
+        // Unwritten slot.
+        let (v0, empty) = kv.get(&mut ctx, 6).unwrap();
+        assert_eq!((v0, empty.len()), (0, 0));
+    }
+
+    #[test]
+    fn overwrite_bumps_version() {
+        let (mut k, pid, kv) = ctx_kv();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        kv.set(&mut ctx, 0, 1, &value_pattern(0, 1, 100)).unwrap();
+        kv.set(&mut ctx, 0, 2, &value_pattern(0, 2, 50)).unwrap();
+        let (ver, got) = kv.get(&mut ctx, 0).unwrap();
+        assert_eq!(ver, 2);
+        assert_eq!(got, value_pattern(0, 2, 50));
+    }
+
+    #[test]
+    fn out_of_range_slot_rejected() {
+        let (mut k, pid, kv) = ctx_kv();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        assert!(kv.set(&mut ctx, 100, 1, b"x").is_err());
+        assert!(kv.get(&mut ctx, 100).is_err());
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let (mut k, pid, kv) = ctx_kv();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        kv.set(&mut ctx, 3, 1, &value_pattern(3, 1, 64)).unwrap();
+        // Corrupt one value byte behind the store's back.
+        let off = kv.slot_off(3).unwrap() + HEADER as u64 + 10;
+        ctx.heap_write(off, &[0xFF]).unwrap();
+        let mut ctx2 = GuestCtx::new(&mut k, pid, 0);
+        assert!(matches!(
+            kv.get(&mut ctx2, 3),
+            Err(SimError::ImageCorrupt(_))
+        ));
+    }
+
+    #[test]
+    fn request_response_wire_roundtrip() {
+        let req = KvRequest {
+            ops: vec![
+                KvOp::Set {
+                    slot: 1,
+                    version: 7,
+                    value: vec![1, 2, 3],
+                },
+                KvOp::Get { slot: 1 },
+                KvOp::Get { slot: 99 },
+            ],
+        };
+        let decoded = KvRequest::decode(&req.encode()).unwrap();
+        assert_eq!(decoded, req);
+
+        let resp = KvResponse {
+            gets: vec![(1, 7, vec![1, 2, 3]), (99, 0, vec![])],
+            sets_acked: 1,
+        };
+        assert_eq!(KvResponse::decode(&resp.encode()).unwrap(), resp);
+    }
+
+    #[test]
+    fn malformed_wire_rejected() {
+        assert!(KvRequest::decode(&[1, 2]).is_err());
+        let mut good = KvRequest {
+            ops: vec![KvOp::Get { slot: 1 }],
+        }
+        .encode();
+        good.truncate(good.len() - 1);
+        assert!(KvRequest::decode(&good).is_err());
+        assert!(KvResponse::decode(&[0]).is_err());
+    }
+
+    #[test]
+    fn aux_touch_dirties_bounded_pages() {
+        let (mut k, pid, kv) = ctx_kv();
+        k.mm_mut(pid)
+            .unwrap()
+            .set_tracking(nilicon_sim::mem::TrackingMode::SoftDirty);
+        k.clear_refs(pid).unwrap();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        kv.aux_touch(&mut ctx, 42, 8).unwrap();
+        let dirty = k.mm(pid).unwrap().soft_dirty_count();
+        assert!((1..=8).contains(&dirty), "dirty {dirty}");
+    }
+
+    #[test]
+    fn value_pattern_is_deterministic_and_distinct() {
+        assert_eq!(value_pattern(1, 1, 32), value_pattern(1, 1, 32));
+        assert_ne!(value_pattern(1, 1, 32), value_pattern(1, 2, 32));
+        assert_ne!(value_pattern(1, 1, 32), value_pattern(2, 1, 32));
+    }
+}

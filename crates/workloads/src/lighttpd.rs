@@ -1,0 +1,175 @@
+//! Lighttpd-like web server (§VI).
+//!
+//! The paper evaluates Lighttpd "with requests to a PHP script that
+//! watermarks an image" — a CPU-heavy request (stock single-client latency:
+//! 285 ms, Table VI) served by a pool of worker processes (1-8 in the §VII-C
+//! scalability study, 4 by default). Image processing churns large pixel
+//! buffers, which shows up as a bursty dirty-page/state-size distribution
+//! (Table IV: state p10 2.05 MB vs p90 14.65 MB).
+
+use crate::clients::golden_page;
+use nilicon_container::{Application, GuestCtx, RequestOutcome};
+use nilicon_sim::time::Nanos;
+use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+
+/// The Lighttpd+PHP-like application.
+#[derive(Debug)]
+pub struct LighttpdApp {
+    /// Heap offset of the source image.
+    image_base: u64,
+    /// Source image size in pages.
+    pub image_pages: u64,
+    /// Heap offset of the pixel-buffer arena.
+    arena_base: u64,
+    /// Arena size in pages.
+    pub arena_pages: u64,
+    /// Pixel-buffer pages dirtied per request (GD makes several copies).
+    pub churn_pages: u64,
+    /// CPU per watermark request (Table VI stock: ≈285 ms).
+    pub cpu_per_req: Nanos,
+    /// Response (watermarked image) size in bytes.
+    pub response_len: usize,
+    next_arena_slot: u64,
+}
+
+impl LighttpdApp {
+    /// Default configuration (4-process container is set in the spec).
+    pub fn new() -> Self {
+        let image_pages = 60;
+        LighttpdApp {
+            image_base: 0,
+            image_pages,
+            arena_base: image_pages * PAGE_SIZE as u64,
+            arena_pages: 20_000,
+            churn_pages: 3_600,
+            cpu_per_req: 280_000_000,
+            response_len: 8192,
+            next_arena_slot: 0,
+        }
+    }
+
+    /// Heap pages needed.
+    pub fn heap_pages(&self) -> u64 {
+        self.image_pages + self.arena_pages + 16
+    }
+}
+
+impl Default for LighttpdApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Application for LighttpdApp {
+    fn name(&self) -> &str {
+        "lighttpd"
+    }
+
+    fn init(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        // Load the source image.
+        for p in 0..self.image_pages {
+            let row = golden_page(p ^ 0xBEEF, 128);
+            ctx.heap_write(self.image_base + p * PAGE_SIZE as u64, &row)?;
+        }
+        Ok(())
+    }
+
+    fn handle_request(&mut self, ctx: &mut GuestCtx<'_>, req: &[u8]) -> SimResult<RequestOutcome> {
+        if req.len() < 4 {
+            return Err(SimError::Invalid("lighttpd request too short".into()));
+        }
+        let image_id = u32::from_le_bytes(req[0..4].try_into().unwrap());
+        ctx.cpu(self.cpu_per_req);
+
+        // Read the source image (real bytes), "alpha-blend" a watermark,
+        // and write working pixel buffers across the arena.
+        let mut acc: u64 = 0;
+        let mut row = vec![0u8; 128];
+        for p in 0..self.image_pages {
+            ctx.heap_read(self.image_base + p * PAGE_SIZE as u64, &mut row)?;
+            acc = acc.wrapping_add(row.iter().map(|&b| b as u64).sum::<u64>());
+        }
+        for _ in 0..self.churn_pages {
+            let page = self.next_arena_slot % self.arena_pages;
+            self.next_arena_slot += 1;
+            ctx.heap_write(
+                self.arena_base + page * PAGE_SIZE as u64 + (acc % 3000),
+                &image_id.to_le_bytes(),
+            )?;
+        }
+
+        // The watermarked image bytes, deterministic per request id
+        // (golden-copy verifiable, §VII-A).
+        Ok(RequestOutcome {
+            response: golden_page(image_id as u64, self.response_len),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilicon_container::{ContainerRuntime, ContainerSpec};
+    use nilicon_sim::kernel::Kernel;
+
+    fn small() -> LighttpdApp {
+        let mut app = LighttpdApp::new();
+        app.arena_pages = 256;
+        app.churn_pages = 64;
+        app
+    }
+
+    fn host(app: &LighttpdApp) -> (Kernel, nilicon_sim::ids::Pid) {
+        let mut k = Kernel::default();
+        let mut spec = ContainerSpec::server("lighttpd", 10, 80);
+        spec.heap_pages = app.heap_pages();
+        let c = ContainerRuntime::create(&mut k, &spec).unwrap();
+        (k, c.init_pid())
+    }
+
+    #[test]
+    fn watermark_is_deterministic_golden() {
+        let mut app = small();
+        let (mut k, pid) = host(&app);
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.init(&mut ctx).unwrap();
+        let out = app.handle_request(&mut ctx, &3u32.to_le_bytes()).unwrap();
+        assert_eq!(out.response, golden_page(3, app.response_len));
+    }
+
+    #[test]
+    fn request_is_cpu_heavy() {
+        let mut app = small();
+        let (mut k, pid) = host(&app);
+        {
+            let mut ctx = GuestCtx::new(&mut k, pid, 0);
+            app.init(&mut ctx).unwrap();
+        }
+        k.meter.take();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.handle_request(&mut ctx, &1u32.to_le_bytes()).unwrap();
+        let cost = k.meter.take();
+        assert!(
+            cost >= 280_000_000,
+            "Table VI: the PHP watermark dominates at ~280ms, got {cost}"
+        );
+    }
+
+    #[test]
+    fn churn_rotates_across_the_arena() {
+        let mut app = small();
+        let (mut k, pid) = host(&app);
+        {
+            let mut ctx = GuestCtx::new(&mut k, pid, 0);
+            app.init(&mut ctx).unwrap();
+        }
+        k.mm_mut(pid)
+            .unwrap()
+            .set_tracking(nilicon_sim::mem::TrackingMode::SoftDirty);
+        k.clear_refs(pid).unwrap();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.handle_request(&mut ctx, &1u32.to_le_bytes()).unwrap();
+        let after_one = k.mm(pid).unwrap().soft_dirty_count();
+        assert!(after_one as u64 >= app.churn_pages, "churn {after_one}");
+    }
+}

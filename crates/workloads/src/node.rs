@@ -1,0 +1,182 @@
+//! Node-like web service (§VI).
+//!
+//! The paper's Node benchmark "searches through a database for a keyword and
+//! generates a response consisting of text and figures", modified to reply
+//! with a static web page; it needs 128 clients to saturate, giving the
+//! container a large socket population — which dominates its stop time
+//! (§VII-C: "NiLiCon spends around 13ms collecting the socket states") and
+//! its backup CPU (Table V: socket state arrives in small chunks).
+
+use crate::clients::golden_page;
+use crate::scale::Scale;
+use nilicon_container::{Application, GuestCtx, RequestOutcome};
+use nilicon_sim::time::Nanos;
+use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+
+const DOC_SIZE: usize = 256;
+
+/// The Node-like application.
+#[derive(Debug)]
+pub struct NodeApp {
+    scale: Scale,
+    /// Heap offset of the document database.
+    docs_base: u64,
+    /// Heap offset of the render-buffer arena.
+    arena_base: u64,
+    /// Render arena size in pages.
+    pub arena_pages: u64,
+    /// Pages of render buffer dirtied per request.
+    pub render_pages: u64,
+    /// Documents scanned per request.
+    pub scan_docs: usize,
+    /// CPU per request (single-threaded JS event loop).
+    pub cpu_per_req: Nanos,
+    /// Response body size.
+    pub response_len: usize,
+    next_arena_slot: u64,
+}
+
+impl NodeApp {
+    /// Build at `scale`.
+    pub fn new(scale: Scale) -> Self {
+        let docs_bytes = (scale.node_docs * DOC_SIZE) as u64;
+        let arena_base = docs_bytes.div_ceil(PAGE_SIZE as u64) * PAGE_SIZE as u64;
+        NodeApp {
+            scale,
+            docs_base: 0,
+            arena_base,
+            arena_pages: 4096,
+            render_pages: 30,
+            scan_docs: 64,
+            cpu_per_req: 250_000,
+            response_len: 2048,
+            next_arena_slot: 0,
+        }
+    }
+
+    /// Heap pages needed.
+    pub fn heap_pages(&self) -> u64 {
+        (self.arena_base / PAGE_SIZE as u64) + self.arena_pages + 16
+    }
+
+    fn doc_bytes(doc: usize) -> [u8; DOC_SIZE] {
+        let mut d = [0u8; DOC_SIZE];
+        let mut s = doc as u64 ^ 0xA5A5_5A5A;
+        for b in d.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *b = (s >> 33) as u8;
+        }
+        d
+    }
+}
+
+impl Application for NodeApp {
+    fn name(&self) -> &str {
+        "node"
+    }
+
+    fn init(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        // Load the searchable document database into guest memory.
+        for doc in 0..self.scale.node_docs {
+            ctx.heap_write(
+                self.docs_base + (doc * DOC_SIZE) as u64,
+                &Self::doc_bytes(doc),
+            )?;
+        }
+        Ok(())
+    }
+
+    fn handle_request(&mut self, ctx: &mut GuestCtx<'_>, req: &[u8]) -> SimResult<RequestOutcome> {
+        if req.len() < 4 {
+            return Err(SimError::Invalid("node request too short".into()));
+        }
+        let keyword = u32::from_le_bytes(req[0..4].try_into().unwrap());
+        ctx.cpu(self.cpu_per_req);
+
+        // Search: scan a window of real document bytes.
+        let start = (keyword as usize * 7) % self.scale.node_docs;
+        let mut hits = 0u32;
+        let mut buf = vec![0u8; DOC_SIZE];
+        for i in 0..self.scan_docs.min(self.scale.node_docs) {
+            let doc = (start + i) % self.scale.node_docs;
+            ctx.heap_read(self.docs_base + (doc * DOC_SIZE) as u64, &mut buf)?;
+            if buf[0] as u32 & 0xF == keyword & 0xF {
+                hits += 1;
+            }
+        }
+
+        // Render: dirty a run of arena pages (text + figures buffers).
+        for _ in 0..self.render_pages {
+            let page = self.next_arena_slot % self.arena_pages;
+            self.next_arena_slot += 1;
+            ctx.heap_write(
+                self.arena_base + page * PAGE_SIZE as u64,
+                &keyword.to_le_bytes(),
+            )?;
+        }
+
+        // Static web page, keyed by the request (golden-copy verifiable).
+        let mut response = golden_page(keyword as u64, self.response_len);
+        response[0..4].copy_from_slice(&hits.to_le_bytes());
+        Ok(RequestOutcome { response })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nilicon_container::{ContainerRuntime, ContainerSpec};
+    use nilicon_sim::kernel::Kernel;
+
+    fn host(app: &NodeApp) -> (Kernel, nilicon_sim::ids::Pid) {
+        let mut k = Kernel::default();
+        let mut spec = ContainerSpec::server("node", 10, 3000);
+        spec.heap_pages = app.heap_pages();
+        let c = ContainerRuntime::create(&mut k, &spec).unwrap();
+        (k, c.init_pid())
+    }
+
+    #[test]
+    fn response_is_golden_page_shaped() {
+        let mut app = NodeApp::new(Scale::small());
+        let (mut k, pid) = host(&app);
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.init(&mut ctx).unwrap();
+        let out = app.handle_request(&mut ctx, &7u32.to_le_bytes()).unwrap();
+        assert_eq!(out.response.len(), app.response_len);
+        // Deterministic: same request, same page (hits prefix included).
+        let out2 = app.handle_request(&mut ctx, &7u32.to_le_bytes()).unwrap();
+        assert_eq!(out.response, out2.response);
+        // Tail matches the golden pattern.
+        assert_eq!(&out.response[4..], &golden_page(7, app.response_len)[4..]);
+    }
+
+    #[test]
+    fn render_dirties_bounded_pages() {
+        let mut app = NodeApp::new(Scale::small());
+        app.render_pages = 10;
+        let (mut k, pid) = host(&app);
+        {
+            let mut ctx = GuestCtx::new(&mut k, pid, 0);
+            app.init(&mut ctx).unwrap();
+        }
+        k.mm_mut(pid)
+            .unwrap()
+            .set_tracking(nilicon_sim::mem::TrackingMode::SoftDirty);
+        k.clear_refs(pid).unwrap();
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        app.handle_request(&mut ctx, &1u32.to_le_bytes()).unwrap();
+        let dirty = k.mm(pid).unwrap().soft_dirty_count();
+        assert!((10..=12).contains(&dirty), "render pages dominate: {dirty}");
+    }
+
+    #[test]
+    fn short_request_rejected() {
+        let mut app = NodeApp::new(Scale::small());
+        let (mut k, pid) = host(&app);
+        let mut ctx = GuestCtx::new(&mut k, pid, 0);
+        assert!(app.handle_request(&mut ctx, &[1, 2]).is_err());
+    }
+}

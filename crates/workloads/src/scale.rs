@@ -1,0 +1,98 @@
+//! Workload scale knobs.
+
+/// Dataset / footprint scale for the benchmarks.
+///
+/// The paper's absolute footprints (100 K records, 100 MB Redis datasets,
+/// PARSEC native inputs) are reproducible with [`Scale::paper`]; the default
+/// [`Scale::small`] keeps unit tests fast while preserving the per-epoch
+/// characteristics every table is built from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Scale {
+    /// KV records for Redis/SSDB (paper: 100 000 × 1 KiB — YCSB, §VI).
+    pub kv_records: usize,
+    /// Value size in bytes (paper: 1 KiB).
+    pub value_size: usize,
+    /// Operations per batched request (paper: 1 000, 50/50 read/write).
+    pub batch_ops: usize,
+    /// streamcluster data points (native input ≈ 1 M; drives footprint).
+    pub sc_points: usize,
+    /// swaptions trials per step.
+    pub sw_trials: usize,
+    /// Documents in the Node search database.
+    pub node_docs: usize,
+    /// Extra resident-but-clean streamcluster pages, matching the paper's
+    /// native-input footprint (~49 K pages, §VII-C) — drives pagemap-scan
+    /// and smaps costs without inflating the dirty set.
+    pub sc_ballast_pages: u64,
+}
+
+impl Scale {
+    /// Test scale: small and fast.
+    pub fn small() -> Self {
+        Scale {
+            kv_records: 4_000,
+            value_size: 1024,
+            batch_ops: 100,
+            sc_points: 20_000,
+            sw_trials: 64,
+            node_docs: 2_000,
+            sc_ballast_pages: 0,
+        }
+    }
+
+    /// Benchmark scale: paper-faithful *per-epoch* characteristics (batch
+    /// sizes, dirty-page rates, socket counts) with a dataset footprint
+    /// small enough to keep full table sweeps fast. Used by the
+    /// `nilicon-bench` binaries; see EXPERIMENTS.md for the scale note.
+    pub fn bench() -> Self {
+        Scale {
+            kv_records: 30_000,
+            value_size: 1024,
+            batch_ops: 1_000,
+            sc_points: 160_000,
+            sw_trials: 256,
+            node_docs: 8_000,
+            sc_ballast_pages: 45_000,
+        }
+    }
+
+    /// Paper scale (§VI).
+    pub fn paper() -> Self {
+        Scale {
+            kv_records: 100_000,
+            value_size: 1024,
+            batch_ops: 1_000,
+            sc_points: 200_000,
+            sw_trials: 256,
+            node_docs: 20_000,
+            sc_ballast_pages: 45_000,
+        }
+    }
+}
+
+impl Default for Scale {
+    fn default() -> Self {
+        Scale::small()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_matches_setup_section() {
+        let p = Scale::paper();
+        assert_eq!(p.kv_records, 100_000);
+        assert_eq!(p.value_size, 1024);
+        assert_eq!(p.batch_ops, 1_000);
+    }
+
+    #[test]
+    fn small_is_smaller() {
+        let s = Scale::small();
+        let p = Scale::paper();
+        assert!(s.kv_records < p.kv_records);
+        assert!(s.sc_points < p.sc_points);
+    }
+}

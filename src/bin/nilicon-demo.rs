@@ -1,0 +1,229 @@
+//! `nilicon-demo` — drive any benchmark under any engine from the command
+//! line.
+//!
+//! ```sh
+//! cargo run --release --bin nilicon-demo -- --workload redis --epochs 60
+//! cargo run --release --bin nilicon-demo -- --workload node --engine mc
+//! cargo run --release --bin nilicon-demo -- --workload ssdb --fault-at-ms 500
+//! cargo run --release --bin nilicon-demo -- --workload streamcluster --engine stock
+//! cargo run --release --bin nilicon-demo -- --list
+//! ```
+
+use nilicon_repro::core::harness::{RunHarness, RunMode};
+use nilicon_repro::core::{NiLiConEngine, OptimizationConfig, ReplicationConfig};
+use nilicon_repro::mc::McEngine;
+use nilicon_repro::sim::CostModel;
+use nilicon_repro::workloads::{self, Scale, StreamclusterApp, SwaptionsApp, Workload};
+
+const WORKLOADS: &[&str] = &[
+    "redis",
+    "ssdb",
+    "node",
+    "lighttpd",
+    "djcms",
+    "streamcluster",
+    "swaptions",
+    "net",
+    "stress-fs",
+];
+
+struct Args {
+    workload: String,
+    engine: String,
+    epochs: u64,
+    clients: usize,
+    fault_at_ms: Option<u64>,
+    scale: String,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workload: "redis".into(),
+        engine: "nilicon".into(),
+        epochs: 60,
+        clients: 4,
+        fault_at_ms: None,
+        scale: "small".into(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--workload" | "-w" => args.workload = val("--workload")?,
+            "--engine" | "-e" => args.engine = val("--engine")?,
+            "--epochs" | "-n" => {
+                args.epochs = val("--epochs")?
+                    .parse()
+                    .map_err(|e| format!("--epochs: {e}"))?
+            }
+            "--clients" | "-c" => {
+                args.clients = val("--clients")?
+                    .parse()
+                    .map_err(|e| format!("--clients: {e}"))?
+            }
+            "--fault-at-ms" | "-f" => {
+                args.fault_at_ms = Some(
+                    val("--fault-at-ms")?
+                        .parse()
+                        .map_err(|e| format!("--fault-at-ms: {e}"))?,
+                )
+            }
+            "--scale" | "-s" => args.scale = val("--scale")?,
+            "--list" => {
+                println!("workloads: {}", WORKLOADS.join(", "));
+                println!("engines  : nilicon, mc, colo, stock");
+                println!("scales   : small, bench, paper");
+                std::process::exit(0);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: nilicon-demo [--workload NAME] [--engine nilicon|mc|colo|stock] \
+                     [--epochs N] [--clients N] [--fault-at-ms T] [--scale small|bench|paper] [--list]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag {other} (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn build_workload(name: &str, scale: Scale, clients: usize) -> Result<Workload, String> {
+    Ok(match name {
+        "redis" => workloads::redis(scale, clients, None),
+        "ssdb" => workloads::ssdb(scale, clients, None),
+        "node" => workloads::node(scale, clients.max(16), None),
+        "lighttpd" => workloads::lighttpd(4, clients.max(8), None),
+        "djcms" => workloads::djcms(clients.max(8), None),
+        "streamcluster" => {
+            let mut w = workloads::streamcluster(scale, 4);
+            let mut app = StreamclusterApp::new(scale);
+            app.passes = u32::MAX;
+            w.app = Box::new(app);
+            w
+        }
+        "swaptions" => {
+            let mut w = workloads::swaptions(scale, 4);
+            let mut app = SwaptionsApp::new(scale);
+            app.swaptions = u32::MAX;
+            w.app = Box::new(app);
+            w
+        }
+        "net" => workloads::net_echo(clients, None),
+        "stress-fs" => workloads::stress_fs(256 * 1024, None),
+        other => {
+            return Err(format!(
+                "unknown workload {other}; known: {}",
+                WORKLOADS.join(", ")
+            ))
+        }
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let scale = match args.scale.as_str() {
+        "small" => Scale::small(),
+        "bench" => Scale::bench(),
+        "paper" => Scale::paper(),
+        other => {
+            eprintln!("error: unknown scale {other}");
+            std::process::exit(2);
+        }
+    };
+    let w = match build_workload(&args.workload, scale, args.clients) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let mode = match args.engine.as_str() {
+        "nilicon" => RunMode::Replicated(Box::new(NiLiConEngine::new(
+            OptimizationConfig::nilicon(),
+            CostModel::default(),
+        ))),
+        "mc" => RunMode::Replicated(Box::new(McEngine::new(CostModel::default()))),
+        "colo" => RunMode::Replicated(Box::new(nilicon_repro::colo::ColoEngine::new(
+            CostModel::default(),
+            0.05,
+        ))),
+        "stock" => RunMode::Unreplicated,
+        other => {
+            eprintln!("error: unknown engine {other} (nilicon|mc|colo|stock)");
+            std::process::exit(2);
+        }
+    };
+
+    println!(
+        "running {} under {} for {} epochs (scale {}, {} clients)...",
+        args.workload, args.engine, args.epochs, args.scale, args.clients
+    );
+    let name = w.name;
+    let mut h = RunHarness::new(
+        w.spec,
+        w.app,
+        w.behavior,
+        mode,
+        ReplicationConfig::default(),
+        w.parallelism,
+    )
+    .expect("harness construction");
+    if let Some(ms) = args.fault_at_ms {
+        h.inject_fault_at(ms * 1_000_000);
+        println!("fail-stop fault scheduled at t={ms}ms");
+    }
+    h.run_epochs(args.epochs).expect("run");
+    let failed_over = h.on_backup();
+    let r = h.finish();
+
+    println!("\n== {name} results ==");
+    println!(
+        "virtual time        : {:.2} s",
+        r.metrics.elapsed as f64 / 1e9
+    );
+    println!(
+        "requests / steps    : {} / {}",
+        r.metrics.requests_total, r.metrics.steps_total
+    );
+    println!(
+        "avg stop time       : {:.2} ms",
+        r.metrics.avg_stop() as f64 / 1e6
+    );
+    println!("avg dirty pages     : {:.0}", r.metrics.avg_dirty_pages());
+    println!(
+        "mean latency        : {:.2} ms",
+        r.metrics.mean_latency() as f64 / 1e6
+    );
+    println!(
+        "backup core util    : {:.2}",
+        r.metrics.backup_utilization()
+    );
+    if failed_over {
+        let fo = r.failover.expect("failover report");
+        println!(
+            "failover            : detected in {:.0} ms, recovered in {:.0} ms \
+             (restore {:.0} + arp {:.0} + tcp {:.0} + misc {:.0})",
+            r.detection_latency.unwrap_or(0) as f64 / 1e6,
+            fo.total() as f64 / 1e6,
+            fo.restore as f64 / 1e6,
+            fo.arp as f64 / 1e6,
+            fo.tcp as f64 / 1e6,
+            fo.others as f64 / 1e6,
+        );
+    }
+    println!("broken connections  : {}", r.broken_connections);
+    match r.verify {
+        Ok(()) => println!("consistency         : OK"),
+        Err(e) => {
+            println!("consistency         : FAILED — {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! # nilicon-repro — umbrella crate
+//!
+//! Re-exports the whole NiLiCon reproduction workspace behind one dependency,
+//! used by the examples and the cross-crate integration tests. See the README
+//! for the architecture overview and `DESIGN.md` for the per-experiment map.
+
+pub use nilicon as core;
+pub use nilicon_colo as colo;
+pub use nilicon_container as container;
+pub use nilicon_criu as criu;
+pub use nilicon_drbd as drbd;
+pub use nilicon_mc as mc;
+pub use nilicon_sim as sim;
+pub use nilicon_workloads as workloads;

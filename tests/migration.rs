@@ -1,0 +1,240 @@
+//! Cross-host live-migration scenarios (CRIU's original use case, §II-B):
+//! checkpoint on one kernel, restore on another, continue — covering every
+//! benchmark application and the state classes the paper enumerates
+//! (user memory, fd tables, sockets, fs cache, namespaces, cgroups, mounts).
+
+use nilicon_container::{Application, ContainerRuntime, ContainerSpec, GuestCtx};
+use nilicon_criu::{full_dump, restore_container, DumpConfig, RestoreConfig};
+use nilicon_sim::kernel::Kernel;
+use nilicon_workloads::{
+    value_pattern as value_pattern_probe, DjcmsApp, NodeApp, RedisApp, Scale, SsdbApp,
+    StreamclusterApp, SwaptionsApp,
+};
+
+/// Run `init` + some app work on a source kernel, migrate, and let the
+/// verifier check the destination.
+fn run_migration<A: Application>(
+    spec: ContainerSpec,
+    mut app: A,
+    mut work: impl FnMut(&mut A, &mut Kernel, nilicon_sim::ids::Pid),
+    mut verify: impl FnMut(&mut A, &mut Kernel, nilicon_sim::ids::Pid),
+) {
+    let mut source = Kernel::default();
+    let cont = ContainerRuntime::create(&mut source, &spec).unwrap();
+    let pid = cont.init_pid();
+    {
+        let mut ctx = GuestCtx::new(&mut source, pid, 0);
+        app.init(&mut ctx).unwrap();
+    }
+    work(&mut app, &mut source, pid);
+
+    let img = full_dump(&mut source, &cont, &DumpConfig::nilicon()).unwrap();
+    let mut dest = Kernel::default();
+    let restored = restore_container(&mut dest, &img, &RestoreConfig::default()).unwrap();
+    restored.finish(&mut dest).unwrap();
+    {
+        let mut ctx = GuestCtx::new(&mut dest, restored.container.init_pid(), 1);
+        app.recover(&mut ctx).unwrap();
+    }
+    verify(&mut app, &mut dest, restored.container.init_pid());
+}
+
+#[test]
+fn migrate_redis_preserves_every_record() {
+    let scale = Scale {
+        kv_records: 300,
+        ..Scale::small()
+    };
+    let app = RedisApp::new(scale, true);
+    let mut spec = ContainerSpec::server("redis", 10, 6379);
+    spec.heap_pages = app.heap_pages();
+    run_migration(
+        spec,
+        app,
+        |app, k, pid| {
+            // Overwrite a few records post-load.
+            let mut ctx = GuestCtx::new(k, pid, 0);
+            for slot in [3u32, 77, 299] {
+                app.kv()
+                    .set(&mut ctx, slot, 9, &value_pattern_probe(slot, 9, 512))
+                    .unwrap();
+            }
+        },
+        |app, k, pid| {
+            let mut ctx = GuestCtx::new(k, pid, 2);
+            for slot in [3u32, 77, 299] {
+                let (v, val) = app.kv().get(&mut ctx, slot).unwrap();
+                assert_eq!(v, 9);
+                assert_eq!(val, value_pattern_probe(slot, 9, 512));
+            }
+            // An untouched record survived too.
+            let (v, val) = app.kv().get(&mut ctx, 100).unwrap();
+            assert_eq!(v, 0);
+            assert_eq!(val, value_pattern_probe(100, 0, scale_value()));
+        },
+    );
+}
+
+fn scale_value() -> usize {
+    Scale::small().value_size
+}
+
+#[test]
+fn migrate_ssdb_preserves_file_contents() {
+    let scale = Scale {
+        kv_records: 200,
+        ..Scale::small()
+    };
+    let app = SsdbApp::new(scale);
+    let mut spec = ContainerSpec::server("ssdb", 10, 8888);
+    spec.heap_pages = app.heap_pages();
+    run_migration(
+        spec,
+        app,
+        |app, k, pid| {
+            let mut ctx = GuestCtx::new(k, pid, 0);
+            let req = nilicon_workloads::KvRequest {
+                ops: vec![nilicon_workloads::KvOp::Set {
+                    slot: 42,
+                    version: 5,
+                    value: value_pattern_probe(42, 5, 700),
+                }],
+            };
+            app.handle_request(&mut ctx, &req.encode()).unwrap();
+        },
+        |app, k, pid| {
+            let mut ctx = GuestCtx::new(k, pid, 2);
+            let req = nilicon_workloads::KvRequest {
+                ops: vec![nilicon_workloads::KvOp::Get { slot: 42 }],
+            };
+            let out = app.handle_request(&mut ctx, &req.encode()).unwrap();
+            let resp = nilicon_workloads::KvResponse::decode(&out.response).unwrap();
+            assert_eq!(resp.gets[0], (42, 5, value_pattern_probe(42, 5, 700)));
+        },
+    );
+}
+
+#[test]
+fn migrate_batch_apps_resume_mid_computation() {
+    // streamcluster
+    let scale = Scale {
+        sc_points: 4096,
+        ..Scale::small()
+    };
+    let app = StreamclusterApp::new(scale);
+    let mut spec = ContainerSpec::batch("streamcluster", 10);
+    spec.heap_pages = app.heap_pages();
+    run_migration(
+        spec,
+        app,
+        |app, k, pid| {
+            for i in 0..5 {
+                let mut ctx = GuestCtx::new(k, pid, i);
+                app.step(&mut ctx).unwrap();
+            }
+        },
+        |app, k, pid| {
+            // Completes from where it left off.
+            let mut steps = 0u64;
+            loop {
+                let mut ctx = GuestCtx::new(k, pid, 100 + steps);
+                if app.step(&mut ctx).unwrap().done {
+                    break;
+                }
+                steps += 1;
+                assert!(steps < 200, "must converge post-migration");
+            }
+        },
+    );
+
+    // swaptions
+    let mut app = SwaptionsApp::new(Scale::small());
+    app.swaptions = 12;
+    let mut spec = ContainerSpec::batch("swaptions", 10);
+    spec.heap_pages = app.heap_pages();
+    run_migration(
+        spec,
+        app,
+        |app, k, pid| {
+            for i in 0..4 {
+                let mut ctx = GuestCtx::new(k, pid, i);
+                app.step(&mut ctx).unwrap();
+            }
+        },
+        |app, k, pid| {
+            let mut remaining = 0u64;
+            loop {
+                let mut ctx = GuestCtx::new(k, pid, 50 + remaining);
+                if app.step(&mut ctx).unwrap().done {
+                    break;
+                }
+                remaining += 1;
+            }
+            assert_eq!(
+                remaining, 7,
+                "12 total - 4 done - final = 7 intermediate steps"
+            );
+        },
+    );
+}
+
+#[test]
+fn migrate_web_apps_serve_identical_pages() {
+    // Node
+    let app = NodeApp::new(Scale::small());
+    let mut spec = ContainerSpec::server("node", 10, 3000);
+    spec.heap_pages = app.heap_pages();
+    let before = std::cell::RefCell::new(Vec::new());
+    run_migration(
+        spec,
+        app,
+        |app, k, pid| {
+            let mut ctx = GuestCtx::new(k, pid, 0);
+            *before.borrow_mut() = app
+                .handle_request(&mut ctx, &7u32.to_le_bytes())
+                .unwrap()
+                .response;
+        },
+        |app, k, pid| {
+            let mut ctx = GuestCtx::new(k, pid, 2);
+            let after = app
+                .handle_request(&mut ctx, &7u32.to_le_bytes())
+                .unwrap()
+                .response;
+            assert_eq!(*before.borrow(), after, "document database migrated intact");
+        },
+    );
+
+    // DJCMS (table file + sessions through the fs cache)
+    let mut app = DjcmsApp::new();
+    app.arena_pages = 64;
+    app.churn_pages = 8;
+    app.table_pages = 8;
+    let mut spec = ContainerSpec::server("djcms", 10, 8000);
+    spec.processes = 3;
+    spec.heap_pages = app.heap_pages();
+    let before = std::cell::RefCell::new(Vec::new());
+    run_migration(
+        spec,
+        app,
+        |app, k, pid| {
+            let mut ctx = GuestCtx::new(k, pid, 0);
+            *before.borrow_mut() = app
+                .handle_request(&mut ctx, &2u32.to_le_bytes())
+                .unwrap()
+                .response;
+        },
+        |app, k, pid| {
+            let mut ctx = GuestCtx::new(k, pid, 2);
+            let after = app
+                .handle_request(&mut ctx, &2u32.to_le_bytes())
+                .unwrap()
+                .response;
+            assert_eq!(
+                *before.borrow(),
+                after,
+                "table file + cache migrated intact"
+            );
+        },
+    );
+}
