@@ -1,0 +1,249 @@
+//! `trace-report` — summarize a JSONL epoch-phase trace.
+//!
+//! Reads a trace produced by any binary's `--trace <path>` flag (see
+//! `OBSERVABILITY.md` for the event schema) and renders, per traced run:
+//!
+//! * per-phase duration statistics (count, p50, p99, mean), and
+//! * a Table-I-style attribution of where the stop time and the ack delay
+//!   go, as a share of the mean epoch overhead.
+//!
+//! ```sh
+//! cargo run --release --bin table1 -- 40 --trace /tmp/t.jsonl
+//! cargo run --release --bin trace-report -- /tmp/t.jsonl
+//! ```
+
+use nilicon::metrics::percentile;
+use nilicon::trace::{TraceEvent, TraceRecord};
+use nilicon_sim::time::Nanos;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Canonical phase order for the report (execution first, then the stop
+/// phases, then the ack path).
+const PHASES: &[&str] = &[
+    "Exec",
+    "Freeze",
+    "Dump",
+    "LocalCopy",
+    "Transfer",
+    "BackupIngest",
+    "Ack",
+];
+
+#[derive(Default)]
+struct Section {
+    name: String,
+    mode: String,
+    /// Span durations keyed by phase name.
+    spans: BTreeMap<&'static str, Vec<Nanos>>,
+    epochs: BTreeSet<u64>,
+    dirty_pages: u64,
+    transfer_bytes: u64,
+    drbd_writes: u64,
+    drbd_bytes: u64,
+    ingest_probes: u64,
+    commit_probes: u64,
+    commit_disk_pages: u64,
+    released_packets: u64,
+    delivered_responses: u64,
+    heartbeat_misses: u64,
+    failovers: Vec<TraceEvent>,
+}
+
+impl Section {
+    fn new(name: String, mode: String) -> Self {
+        Section {
+            name,
+            mode,
+            ..Default::default()
+        }
+    }
+
+    fn add(&mut self, rec: TraceRecord) {
+        self.epochs.insert(rec.epoch);
+        let kind = rec.kind;
+        if matches!(
+            kind,
+            TraceEvent::Exec { .. }
+                | TraceEvent::Freeze
+                | TraceEvent::Dump { .. }
+                | TraceEvent::LocalCopy
+                | TraceEvent::Transfer { .. }
+                | TraceEvent::BackupIngest { .. }
+                | TraceEvent::Ack
+        ) {
+            self.spans.entry(kind.name()).or_default().push(rec.dur);
+        }
+        match kind {
+            TraceEvent::Dump { dirty_pages } => self.dirty_pages += dirty_pages,
+            TraceEvent::Transfer { bytes } => self.transfer_bytes += bytes,
+            TraceEvent::DrbdShip { writes, bytes } => {
+                self.drbd_writes += writes;
+                self.drbd_bytes += bytes;
+            }
+            TraceEvent::BackupIngest { probes } => self.ingest_probes += probes,
+            TraceEvent::BackupCommit { probes, disk_pages } => {
+                self.commit_probes += probes;
+                self.commit_disk_pages += disk_pages;
+            }
+            TraceEvent::OutputRelease { packets } => self.released_packets += packets,
+            TraceEvent::ClientDeliver { responses } => self.delivered_responses += responses,
+            TraceEvent::HeartbeatMiss { .. } => self.heartbeat_misses += 1,
+            ev @ TraceEvent::Failover { .. } => self.failovers.push(ev),
+            _ => {}
+        }
+    }
+
+    fn emit(&self) {
+        let n_epochs = self.epochs.len().max(1) as f64;
+        println!(
+            "\n== {} [{}] — {} epochs ==",
+            self.name,
+            self.mode,
+            self.epochs.len()
+        );
+        println!(
+            "{:<14} {:>7} {:>12} {:>12} {:>12}",
+            "phase", "count", "p50", "p99", "mean"
+        );
+        for &phase in PHASES {
+            let Some(durs) = self.spans.get(phase) else {
+                continue;
+            };
+            let mean = durs.iter().sum::<Nanos>() as f64 / durs.len().max(1) as f64;
+            println!(
+                "{:<14} {:>7} {:>12} {:>12} {:>12}",
+                phase,
+                durs.len(),
+                fmt_ns(percentile(durs.clone(), 50.0)),
+                fmt_ns(percentile(durs.clone(), 99.0)),
+                fmt_ns(mean as Nanos),
+            );
+        }
+
+        // Table-I-style attribution: mean per-epoch cost of each overhead
+        // phase (everything but Exec) as a share of their sum.
+        let overhead: Vec<(&str, f64)> = PHASES
+            .iter()
+            .skip(1)
+            .filter_map(|&p| {
+                self.spans
+                    .get(p)
+                    .map(|d| (p, d.iter().sum::<Nanos>() as f64 / n_epochs))
+            })
+            .collect();
+        let total: f64 = overhead.iter().map(|(_, v)| v).sum();
+        if total > 0.0 {
+            println!("overhead attribution (per epoch, Table-I style):");
+            for (p, v) in &overhead {
+                println!(
+                    "  {:<14} {:>12} {:>6.1}%",
+                    p,
+                    fmt_ns(*v as Nanos),
+                    100.0 * v / total
+                );
+            }
+            let stop: f64 = overhead
+                .iter()
+                .filter(|(p, _)| matches!(*p, "Freeze" | "Dump" | "LocalCopy"))
+                .map(|(_, v)| v)
+                .sum();
+            println!(
+                "  mean stop time {} + ack path {} = {} per epoch",
+                fmt_ns(stop as Nanos),
+                fmt_ns((total - stop) as Nanos),
+                fmt_ns(total as Nanos)
+            );
+        }
+
+        println!(
+            "events: {} dirty pages, {} B transferred, {} DRBD writes ({} B), \
+             {} ingest + {} commit probes, {} disk pages, {} packets released, \
+             {} responses delivered",
+            self.dirty_pages,
+            self.transfer_bytes,
+            self.drbd_writes,
+            self.drbd_bytes,
+            self.ingest_probes,
+            self.commit_probes,
+            self.commit_disk_pages,
+            self.released_packets,
+            self.delivered_responses,
+        );
+        if self.heartbeat_misses > 0 {
+            println!("heartbeat misses: {}", self.heartbeat_misses);
+        }
+        for f in &self.failovers {
+            if let TraceEvent::Failover {
+                detection_latency,
+                restore,
+                arp,
+                tcp,
+                others,
+            } = f
+            {
+                println!(
+                    "failover: detected in {}, recovery restore {} + arp {} + tcp {} + misc {}",
+                    fmt_ns(*detection_latency),
+                    fmt_ns(*restore),
+                    fmt_ns(*arp),
+                    fmt_ns(*tcp),
+                    fmt_ns(*others)
+                );
+            }
+        }
+    }
+}
+
+/// Virtual nanoseconds, human-readable.
+fn fmt_ns(ns: Nanos) -> String {
+    if ns >= 1_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+fn main() {
+    let path = std::env::args().nth(1).unwrap_or_else(|| {
+        eprintln!("usage: trace-report <trace.jsonl>");
+        std::process::exit(2);
+    });
+    let content = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read trace {path}: {e}"));
+    let mut sections: Vec<Section> = Vec::new();
+    let mut bad_lines = 0usize;
+    for (lineno, line) in content.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec: TraceRecord = match serde_json::from_str(line) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("warning: line {}: unparseable record: {e:?}", lineno + 1);
+                bad_lines += 1;
+                continue;
+            }
+        };
+        if let TraceEvent::RunStart { name, mode } = rec.kind {
+            sections.push(Section::new(name, mode));
+        } else {
+            if sections.is_empty() {
+                sections.push(Section::new("(trace)".into(), "?".into()));
+            }
+            sections.last_mut().expect("non-empty").add(rec);
+        }
+    }
+    if sections.is_empty() {
+        println!("no records in {path}");
+        return;
+    }
+    println!("trace: {path}");
+    for s in &sections {
+        s.emit();
+    }
+    if bad_lines > 0 {
+        eprintln!("warning: skipped {bad_lines} unparseable lines");
+    }
+}

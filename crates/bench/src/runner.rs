@@ -2,6 +2,7 @@
 
 use nilicon::harness::{RunHarness, RunMode};
 use nilicon::metrics::{percentile, RunMetrics};
+use nilicon::trace::{TraceEvent, Tracer};
 use nilicon::{NiLiConEngine, OptimizationConfig, ReplicationConfig};
 use nilicon_mc::McEngine;
 use nilicon_sim::time::Nanos;
@@ -21,6 +22,31 @@ pub fn nilicon_mode(opts: OptimizationConfig) -> RunMode {
 /// The MC baseline run mode.
 pub fn mc_mode() -> RunMode {
     RunMode::Replicated(Box::new(McEngine::new(CostModel::default())))
+}
+
+thread_local! {
+    static CLI_TRACER: std::cell::OnceCell<Tracer> = const { std::cell::OnceCell::new() };
+}
+
+/// The process-wide tracer selected by a `--trace <path>` CLI flag
+/// (disabled when the flag is absent), shared by every run the binary
+/// performs. Each run opens with a [`TraceEvent::RunStart`] marker so
+/// `trace-report` can attribute records to runs; see `OBSERVABILITY.md`.
+pub fn cli_tracer() -> Tracer {
+    CLI_TRACER.with(|c| {
+        c.get_or_init(|| {
+            let mut args = std::env::args();
+            while let Some(a) = args.next() {
+                if a == "--trace" {
+                    let path = args.next().expect("--trace requires a path");
+                    return Tracer::to_file(&path)
+                        .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
+                }
+            }
+            Tracer::disabled()
+        })
+        .clone()
+    })
 }
 
 /// Post-warmup aggregate of one run.
@@ -126,6 +152,15 @@ pub fn run_server(w: Workload, mode: RunMode, epochs: u64, label: &str) -> PerfS
         w.parallelism,
     )
     .expect("harness");
+    let tracer = cli_tracer();
+    tracer.event_at(
+        TraceEvent::RunStart {
+            name: name.to_string(),
+            mode: label.to_string(),
+        },
+        0,
+    );
+    h.set_tracer(tracer);
     h.run_epochs(epochs).expect("run");
     let r = h.finish();
     r.verify.expect("workload validated");
@@ -146,6 +181,15 @@ pub fn run_batch(w: Workload, mode: RunMode, max_epochs: u64, label: &str) -> (P
         w.parallelism,
     )
     .expect("harness");
+    let tracer = cli_tracer();
+    tracer.event_at(
+        TraceEvent::RunStart {
+            name: name.to_string(),
+            mode: label.to_string(),
+        },
+        0,
+    );
+    h.set_tracer(tracer);
     h.run_batch_to_completion(max_epochs)
         .expect("batch completes");
     let r = h.finish();

@@ -26,6 +26,12 @@
 //! epoch) rather than emergent: our simulated applications are deterministic,
 //! whereas real-world divergence comes from scheduling, timestamps, and TCP
 //! segmentation differences between replicas.
+//!
+//! ## Observability
+//!
+//! Like the MC baseline, `ColoEngine` keeps the default no-op
+//! `Checkpointer::set_tracer`: traced COLO runs carry harness-level spans
+//! only, and phase reconciliation is vacuous (see `OBSERVABILITY.md`).
 
 #![warn(missing_docs)]
 

@@ -39,6 +39,10 @@ pub struct BackupAgent {
     cpu: Nanos,
     costs: CostModel,
     use_radix: bool,
+    /// `(page-store probes, disk pages applied)` of the most recent
+    /// [`BackupAgent::commit`] call — the trace's `BackupIngest`/
+    /// `BackupCommit` attribution.
+    last_commit_stats: (u64, u64),
 }
 
 impl std::fmt::Debug for BackupAgent {
@@ -72,6 +76,7 @@ impl BackupAgent {
             cpu: 0,
             costs,
             use_radix,
+            last_commit_stats: (0, 0),
         }
     }
 
@@ -116,6 +121,7 @@ impl BackupAgent {
             self.costs.list_probe_per_ckpt
         };
         let mut cpu: Nanos = 0;
+        let mut total_probes = 0u64;
         for e in epochs {
             let mut img = self.pending.remove(&e).expect("epoch listed from range");
             self.store.begin_checkpoint();
@@ -123,6 +129,7 @@ impl BackupAgent {
             for (pid, vpn, data) in img.pages.drain(..) {
                 probes += self.store.insert(PageKey { pid, vpn }, data);
             }
+            total_probes += probes;
             cpu += probes * per_probe;
             // Merge file-cache state.
             for (ino, idx, data, dirty) in img.fs_pages.pages.drain(..) {
@@ -134,9 +141,16 @@ impl BackupAgent {
             self.committed_meta = Some(img);
             self.committed_epoch = Some(e);
         }
-        cpu += self.drbd.commit(epoch, backup_disk) as Nanos * self.costs.restore_disk_per_page;
+        let disk_pages = self.drbd.commit(epoch, backup_disk) as u64;
+        cpu += disk_pages as Nanos * self.costs.restore_disk_per_page;
+        self.last_commit_stats = (total_probes, disk_pages);
         self.cpu += cpu;
         Ok(cpu)
+    }
+
+    /// `(page-store probes, disk pages applied)` of the most recent commit.
+    pub fn last_commit_stats(&self) -> (u64, u64) {
+        self.last_commit_stats
     }
 
     /// Failover step 1: discard everything not committed (§IV: "the backup

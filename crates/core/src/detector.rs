@@ -8,6 +8,7 @@
 //! recovery after three consecutive missed 30 ms intervals; the paper reports
 //! an average detection latency of 90 ms.
 
+use crate::trace::{TraceEvent, Tracer};
 use nilicon_sim::time::Nanos;
 
 /// Primary-side heartbeat gate: emit a beat only if cpuacct advanced.
@@ -50,6 +51,10 @@ pub struct FailureDetector {
     misses_allowed: u32,
     last_beat: Nanos,
     detected_at: Option<Nanos>,
+    /// Missed intervals already traced since the last beat (dedupes
+    /// `HeartbeatMiss` events across repeated `check` calls).
+    misses_traced: u32,
+    tracer: Tracer,
 }
 
 impl FailureDetector {
@@ -60,13 +65,23 @@ impl FailureDetector {
             misses_allowed,
             last_beat: start,
             detected_at: None,
+            misses_traced: 0,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attach a [`Tracer`]: each missed interval emits one
+    /// [`TraceEvent::HeartbeatMiss`] at the interval boundary where the
+    /// backup noticed the silence.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     /// A heartbeat arrived at time `t`.
     pub fn on_beat(&mut self, t: Nanos) {
         if self.detected_at.is_none() {
             self.last_beat = self.last_beat.max(t);
+            self.misses_traced = 0;
         }
     }
 
@@ -74,6 +89,19 @@ impl FailureDetector {
     pub fn check(&mut self, now: Nanos) -> bool {
         if self.detected_at.is_some() {
             return true;
+        }
+        if self.tracer.enabled() && now > self.last_beat {
+            // Trace each interval boundary that elapsed beat-less, capped at
+            // the detection threshold.
+            let elapsed =
+                (((now - self.last_beat) / self.interval) as u32).min(self.misses_allowed);
+            for k in (self.misses_traced + 1)..=elapsed {
+                self.tracer.event_at(
+                    TraceEvent::HeartbeatMiss { misses: k },
+                    self.last_beat + k as Nanos * self.interval,
+                );
+            }
+            self.misses_traced = self.misses_traced.max(elapsed);
         }
         if now >= self.last_beat + self.misses_allowed as Nanos * self.interval {
             // The detector notices at the interval boundary following the
@@ -149,6 +177,37 @@ mod tests {
             d.on_beat(t);
             assert!(!d.check(t + MS30 / 2));
         }
+    }
+
+    #[test]
+    fn missed_intervals_emit_deduplicated_trace_events() {
+        let (tracer, ring) = crate::trace::Tracer::in_memory(16);
+        let mut d = FailureDetector::new(MS30, 3, 0);
+        d.set_tracer(tracer);
+        d.on_beat(MS30);
+        // Repeated checks within the same silence window: one event per
+        // missed interval, no duplicates.
+        assert!(!d.check(2 * MS30 + MILLISECOND));
+        assert!(!d.check(2 * MS30 + 2 * MILLISECOND));
+        assert!(!d.check(3 * MS30 + MILLISECOND));
+        assert!(d.check(4 * MS30));
+        let misses: Vec<_> = ring
+            .snapshot()
+            .into_iter()
+            .filter_map(|r| match r.kind {
+                TraceEvent::HeartbeatMiss { misses } => Some((misses, r.t)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(misses, vec![(1, 2 * MS30), (2, 3 * MS30), (3, 4 * MS30)]);
+        // A beat resets the miss counter.
+        let mut d2 = FailureDetector::new(MS30, 3, 0);
+        let (tr2, ring2) = crate::trace::Tracer::in_memory(16);
+        d2.set_tracer(tr2);
+        assert!(!d2.check(MS30 + MILLISECOND));
+        d2.on_beat(2 * MS30);
+        assert!(!d2.check(3 * MS30 + MILLISECOND));
+        assert_eq!(ring2.len(), 2, "one miss before the beat, one after");
     }
 
     #[test]

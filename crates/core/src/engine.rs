@@ -52,6 +52,12 @@ pub trait Checkpointer {
     /// Engine name for reports.
     fn name(&self) -> &'static str;
 
+    /// Attach a [`Tracer`](crate::trace::Tracer): subsequent checkpoints
+    /// should emit their phase spans into it. The default ignores the tracer
+    /// (engines without instrumentation stay valid — the harness's
+    /// reconciliation check is vacuous for them).
+    fn set_tracer(&mut self, _tracer: crate::trace::Tracer) {}
+
     /// One-time setup on the primary (arm page tracking, initial full sync
     /// of memory and disk to the backup).
     fn prepare(&mut self, primary: &mut Kernel, container: &Container) -> SimResult<()>;

@@ -20,6 +20,7 @@ use crate::config::ReplicationConfig;
 use crate::detector::{FailureDetector, HeartbeatSender};
 use crate::engine::{Checkpointer, FailoverReport};
 use crate::metrics::{EpochRecord, RunMetrics};
+use crate::trace::{TraceEvent, Tracer};
 use crate::traffic::{ClientBehavior, ClientPool};
 use nilicon_container::{
     encode_frame, try_decode_frame, Application, Container, ContainerRuntime, ContainerSpec,
@@ -122,6 +123,7 @@ pub struct RunHarness {
     /// service-time accounting (a C-ms request takes C·(E+stop)/E of wall
     /// time under replication because the container freezes every epoch).
     last_stop: Nanos,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for RunHarness {
@@ -226,7 +228,19 @@ impl RunHarness {
             jitter_state: 0x243F6A8885A308D3,
             cpu_debt: 0,
             last_stop: 0,
+            tracer: Tracer::disabled(),
         })
+    }
+
+    /// Attach a [`Tracer`]: the harness, the engine, and the failure
+    /// detector all emit spans/events into it (see `OBSERVABILITY.md` for
+    /// the schema). Call before running epochs.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        if let RunMode::Replicated(engine) = &mut self.mode {
+            engine.set_tracer(tracer.clone());
+        }
+        self.detector.set_tracer(tracer.clone());
+        self.tracer = tracer;
     }
 
     /// Schedule a fail-stop fault at absolute virtual time `t` (§VII-A).
@@ -310,6 +324,7 @@ impl RunHarness {
                 behavior.as_mut(),
                 &mut self.receipts,
                 fallback_now,
+                &self.tracer,
             )?;
             self.metrics.response_latencies.extend(lats);
         }
@@ -377,6 +392,7 @@ impl RunHarness {
     fn run_one_epoch(&mut self) -> SimResult<()> {
         let exec_start = self.cluster.clock.now();
         let host = self.active_host();
+        self.tracer.begin_epoch(self.epoch, exec_start);
 
         // --- Client requests arrive -------------------------------------
         self.client_turnaround(exec_start)?;
@@ -446,6 +462,13 @@ impl RunHarness {
         let cg = self.container.cgroup;
         self.cluster.host_mut(host).cgroups.charge_cpu(cg, consumed);
         self.cluster.clock.advance_to(epoch_end);
+        self.tracer.span(
+            TraceEvent::Exec {
+                requests: requests_done,
+                steps: steps_done,
+            },
+            self.cfg.epoch_exec,
+        );
 
         // --- Heartbeat ---------------------------------------------------
         let cpuacct = self.cluster.host_mut(host).cgroups.cpuacct_usage(cg);
@@ -483,14 +506,26 @@ impl RunHarness {
             };
             self.cluster.clock.advance(outcome.stop_time);
             self.last_stop = outcome.stop_time;
+            // The engine's phase spans must tile exactly the stop time and
+            // ack delay it reported (the OBSERVABILITY.md invariant).
+            self.tracer
+                .reconcile(epoch, outcome.stop_time, outcome.ack_delay)
+                .map_err(SimError::Invalid)?;
             let release_time = self.cluster.clock.now() + outcome.ack_delay;
 
             // Mechanically release now; logically at release_time.
             let ns = self.container.ns.net;
-            self.cluster
+            let released = self
+                .cluster
                 .host_mut(self.primary)
                 .stack_mut(ns)?
                 .release_output();
+            self.tracer.event_at(
+                TraceEvent::OutputRelease {
+                    packets: released as u64,
+                },
+                release_time,
+            );
             self.cluster.pump();
             let commit_cpu = {
                 let RunMode::Replicated(engine) = &mut self.mode else {
@@ -599,6 +634,17 @@ impl RunHarness {
         // retransmit anything the committed state has not consumed.
         self.pending.clear();
 
+        self.tracer.event_at(
+            TraceEvent::Failover {
+                detection_latency: detected.saturating_sub(fault_time),
+                restore: report.restore,
+                arp: report.arp,
+                tcp: report.tcp,
+                others: report.others,
+            },
+            self.cluster.clock.now(),
+        );
+
         self.container = restored.container;
         self.on_backup = true;
         self.failover_report = Some(report);
@@ -627,6 +673,7 @@ impl RunHarness {
 
     /// Finish the run: validate and hand back the results.
     pub fn finish(mut self) -> RunResult {
+        let _ = self.tracer.flush();
         self.metrics.elapsed = self.cluster.clock.now();
         let broken = match self.pool.as_mut() {
             Some(p) => p.broken_connections(&mut self.cluster),

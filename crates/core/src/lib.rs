@@ -37,7 +37,9 @@
 //!   workloads implement,
 //! * [`harness`] — the epoch-loop run harness (unreplicated / NiLiCon / MC)
 //!   with fault injection,
-//! * [`metrics`] — per-epoch records and aggregation (Tables III-VI).
+//! * [`metrics`] — per-epoch records and aggregation (Tables III-VI),
+//! * [`trace`] — epoch-phase spans/events with pluggable sinks (see
+//!   `OBSERVABILITY.md` for the schema).
 //!
 //! ## Example
 //!
@@ -88,6 +90,7 @@ pub mod engine;
 pub mod harness;
 pub mod metrics;
 pub mod nilicon_engine;
+pub mod trace;
 pub mod traffic;
 
 pub use config::{OptimizationConfig, ReplicationConfig};
@@ -96,4 +99,5 @@ pub use engine::{CheckpointOutcome, Checkpointer, FailoverReport};
 pub use harness::{RunHarness, RunMode, RunResult};
 pub use metrics::{percentile, EpochRecord, RunMetrics};
 pub use nilicon_engine::NiLiConEngine;
+pub use trace::{TraceEvent, TraceRecord, TraceSink, Tracer};
 pub use traffic::{ClientBehavior, ClientPool};

@@ -164,6 +164,24 @@ mod tests {
     }
 
     #[test]
+    fn percentile_edge_cases() {
+        // Empty sample: the type's default, at any p.
+        assert_eq!(percentile(Vec::<u64>::new(), 0.0), 0);
+        assert_eq!(percentile(Vec::<u64>::new(), 100.0), 0);
+        // Single element: that element, at any p.
+        assert_eq!(percentile(vec![7u64], 0.0), 7);
+        assert_eq!(percentile(vec![7u64], 50.0), 7);
+        assert_eq!(percentile(vec![7u64], 100.0), 7);
+        // p0 clamps to the minimum, p100 to the maximum (nearest-rank).
+        let v = vec![30u64, 10, 20];
+        assert_eq!(percentile(v.clone(), 0.0), 10);
+        assert_eq!(percentile(v, 100.0), 30);
+        // Two elements: p50 is the lower, anything above is the upper.
+        assert_eq!(percentile(vec![1u64, 2], 50.0), 1);
+        assert_eq!(percentile(vec![1u64, 2], 51.0), 2);
+    }
+
+    #[test]
     fn aggregation() {
         let mut m = RunMetrics::default();
         for i in 1..=4u64 {

@@ -3,6 +3,7 @@
 use crate::backup::BackupAgent;
 use crate::config::OptimizationConfig;
 use crate::engine::{CheckpointOutcome, Checkpointer, FailoverReport};
+use crate::trace::{TraceEvent, Tracer};
 use nilicon_container::Container;
 use nilicon_criu::{dump_container, InfrequentCache, RestoreConfig, RestoredContainer};
 use nilicon_drbd::DrbdPrimary;
@@ -20,6 +21,7 @@ pub struct NiLiConEngine {
     pub agent: BackupAgent,
     drbd: DrbdPrimary,
     prepared: bool,
+    tracer: Tracer,
 }
 
 impl std::fmt::Debug for NiLiConEngine {
@@ -41,6 +43,7 @@ impl NiLiConEngine {
             agent: BackupAgent::new(costs, opts.optimize_criu),
             drbd: DrbdPrimary::new(),
             prepared: false,
+            tracer: Tracer::disabled(),
         }
     }
 
@@ -62,6 +65,10 @@ impl NiLiConEngine {
 impl Checkpointer for NiLiConEngine {
     fn name(&self) -> &'static str {
         "NiLiCon"
+    }
+
+    fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
     }
 
     fn prepare(&mut self, primary: &mut Kernel, container: &Container) -> SimResult<()> {
@@ -107,6 +114,9 @@ impl Checkpointer for NiLiConEngine {
         primary.meter.take();
 
         // --- Stop phase -------------------------------------------------
+        // Phase boundaries are sampled off the lifetime meter so the emitted
+        // trace spans telescope exactly to the final `stop_time`.
+        let m_start = primary.meter.lifetime_total();
         primary.freeze_cgroup(container.cgroup, cfg.freeze)?;
         // Block network input (§III): even frozen, RX would mutate state.
         let block_cost = if self.opts.plug_input_blocking {
@@ -116,6 +126,7 @@ impl Checkpointer for NiLiConEngine {
         };
         primary.meter.charge(block_cost);
         primary.stack_mut(container.ns.net)?.block_input();
+        let m_frozen = primary.meter.lifetime_total();
 
         // Incremental dump.
         let cache = if self.opts.cache_infrequent {
@@ -125,20 +136,40 @@ impl Checkpointer for NiLiConEngine {
         };
         let img = dump_container(primary, container, &cfg, cache, epoch)?;
         let dirty_pages = img.stats.dirty_pages;
+        let dump_phases = img.stats.phases;
         let state_bytes = img.state_bytes();
         let chunks = img.transfer_chunks();
+        let m_dumped = primary.meter.lifetime_total();
 
         // DRBD: ship this epoch's disk writes + barrier (async — the wire
         // time of disk writes does not stop the container).
         let mut msgs = self.drbd.ship(&mut primary.vfs.disk);
         msgs.push(self.drbd.barrier(epoch));
-        let drbd_bytes: u64 = msgs.iter().map(|m| m.wire_bytes()).sum();
+        let wire = nilicon_drbd::wire_stats(&msgs);
         let drbd_msgs = msgs.len() as u64;
 
         // Resume.
         primary.stack_mut(container.ns.net)?.unblock_input();
         primary.thaw_cgroup(container.cgroup)?;
+        let m_resumed = primary.meter.lifetime_total();
         let mut stop_time = primary.meter.take();
+
+        self.tracer.span(TraceEvent::Freeze, m_frozen - m_start);
+        self.tracer.span(TraceEvent::Dump { dirty_pages }, m_dumped - m_frozen);
+        if self.tracer.enabled() {
+            self.tracer.mark(TraceEvent::DumpDetail {
+                processes: dump_phases.processes,
+                pages: dump_phases.pages,
+                sockets: dump_phases.sockets,
+                fs_cache: dump_phases.fs_cache,
+                infrequent: dump_phases.infrequent,
+            });
+        }
+        self.tracer.span(TraceEvent::LocalCopy, m_resumed - m_dumped);
+        self.tracer.mark(TraceEvent::DrbdShip {
+            writes: wire.writes,
+            bytes: wire.bytes,
+        });
 
         // --- Transfer + ack --------------------------------------------
         // Without the staging buffer the parasite pipes pages out one at a
@@ -150,26 +181,42 @@ impl Checkpointer for NiLiConEngine {
             chunks + dirty_pages
         };
         let transfer =
-            self.transfer_cost(primary, state_bytes + drbd_bytes, transfer_msgs + drbd_msgs);
+            self.transfer_cost(primary, state_bytes + wire.bytes, transfer_msgs + drbd_msgs);
+        let link = primary.costs.repl_link_latency;
         let mut backup_cpu = self.agent.ingest(img);
         backup_cpu += self.agent.ingest_drbd(msgs);
+        self.tracer.span(
+            TraceEvent::Transfer {
+                bytes: state_bytes + wire.bytes,
+            },
+            transfer,
+        );
 
         let ack_delay = if self.opts.staging_buffer {
             // §V-D(2): transfer overlaps the next execution phase; the ack
-            // (and output release) lands after wire + backup receive.
-            transfer + backup_cpu + primary.costs.repl_link_latency
+            // (and output release) lands after wire + backup receive. The
+            // page-store probes happen at the deferred commit — see the
+            // `BackupCommit` marker emitted there.
+            self.tracer
+                .span(TraceEvent::BackupIngest { probes: 0 }, backup_cpu);
+            self.tracer.span(TraceEvent::Ack, link);
+            transfer + backup_cpu + link
         } else {
             // Without staging, the container stays stopped until the backup
             // has consumed the state — transfer, receive, and inline commit
             // are all on the critical path.
             let commit_cpu = self.agent.commit(epoch, &mut backup.vfs.disk)?;
-            stop_time += transfer + backup_cpu + commit_cpu + primary.costs.repl_link_latency;
+            let (probes, _) = self.agent.last_commit_stats();
+            self.tracer
+                .span(TraceEvent::BackupIngest { probes }, backup_cpu + commit_cpu);
+            self.tracer.span(TraceEvent::Ack, link);
+            stop_time += transfer + backup_cpu + commit_cpu + link;
             0
         };
 
         Ok(CheckpointOutcome {
             stop_time,
-            state_bytes: state_bytes + drbd_bytes,
+            state_bytes: state_bytes + wire.bytes,
             dirty_pages,
             ack_delay,
             backup_cpu,
@@ -178,7 +225,13 @@ impl Checkpointer for NiLiConEngine {
 
     fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos> {
         if self.opts.staging_buffer {
-            self.agent.commit(epoch, &mut backup.vfs.disk)
+            let cpu = self.agent.commit(epoch, &mut backup.vfs.disk)?;
+            if self.tracer.enabled() {
+                let (probes, disk_pages) = self.agent.last_commit_stats();
+                self.tracer
+                    .mark(TraceEvent::BackupCommit { probes, disk_pages });
+            }
+            Ok(cpu)
         } else {
             Ok(0) // already committed inline during the stop phase
         }

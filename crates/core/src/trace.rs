@@ -1,0 +1,842 @@
+//! Epoch-phase tracing: typed spans and events over the replication pipeline.
+//!
+//! Every phase of the Fig. 1 epoch loop — execute, freeze, dump, local copy,
+//! transfer, backup ingest, ack, output release — can emit a [`TraceRecord`]
+//! into a [`TraceSink`]: a no-op (the default), an in-memory ring buffer
+//! ([`RingSink`]), or a JSONL file ([`JsonlSink`]). All timestamps and
+//! durations are **virtual nanoseconds** from the simulation clock/meter, so
+//! traces are bit-for-bit deterministic across runs.
+//!
+//! The full event schema (every variant, units, and the reconciliation
+//! invariants) is documented in `OBSERVABILITY.md` at the repository root;
+//! `trace-report` in `nilicon-bench` renders per-phase percentiles and a
+//! Table-I-style attribution from a JSONL trace.
+//!
+//! ## Reconciliation invariant
+//!
+//! The phase spans of an epoch are not free-floating: they must sum to the
+//! engine-reported [`CheckpointOutcome`](crate::engine::CheckpointOutcome)
+//! components. With a staging buffer (§V-D(2)):
+//!
+//! ```text
+//! Freeze + Dump + LocalCopy            == stop_time
+//! Transfer + BackupIngest + Ack        == ack_delay
+//! ```
+//!
+//! Without one, every phase sits on the stop critical path:
+//!
+//! ```text
+//! Freeze + Dump + LocalCopy + Transfer + BackupIngest + Ack == stop_time
+//! ack_delay == 0
+//! ```
+//!
+//! [`Tracer::reconcile`] checks this once per epoch; the harness turns a
+//! mismatch into a hard [`SimError::Invalid`](nilicon_sim::SimError) — an
+//! instrumented run cannot silently misattribute time.
+//!
+//! ## Example
+//!
+//! ```
+//! use nilicon::trace::{TraceEvent, Tracer};
+//!
+//! let (tracer, ring) = Tracer::in_memory(64);
+//! tracer.begin_epoch(1, 0);
+//! tracer.span(TraceEvent::Freeze, 10);
+//! tracer.span(TraceEvent::Dump { dirty_pages: 3 }, 90);
+//! tracer.span(TraceEvent::LocalCopy, 5);
+//! tracer.span(TraceEvent::Transfer { bytes: 12_288 }, 40);
+//! tracer.span(TraceEvent::BackupIngest { probes: 12 }, 20);
+//! tracer.span(TraceEvent::Ack, 30);
+//! tracer.reconcile(1, 105, 90).unwrap();
+//! let recs = ring.snapshot();
+//! assert_eq!(recs.len(), 6);
+//! assert_eq!(recs[1].t, 10, "spans are laid out contiguously");
+//! ```
+
+use nilicon_sim::time::Nanos;
+use serde::{Deserialize, Serialize, Value};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+/// One typed span or event in the epoch pipeline.
+///
+/// Variants with a natural duration are emitted as *spans* (`dur > 0`);
+/// instantaneous markers are emitted with `dur == 0`. See `OBSERVABILITY.md`
+/// for the full schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A new run begins: everything that follows (until the next `RunStart`)
+    /// belongs to this workload/mode pair. Epoch numbers restart at 0.
+    RunStart {
+        /// Workload name (e.g. "redis").
+        name: String,
+        /// Mode label (e.g. "NiLiCon", "MC", "stock", a Table-I row).
+        mode: String,
+    },
+    /// The execution phase of an epoch (wall duration = configured
+    /// `epoch_exec`).
+    Exec {
+        /// Server requests completed this epoch.
+        requests: u64,
+        /// Batch steps completed this epoch.
+        steps: u64,
+    },
+    /// Cgroup freeze plus network-input blocking (§V-A, §V-C).
+    Freeze,
+    /// The incremental CRIU dump (§V-B, §V-D).
+    Dump {
+        /// Dirty pages captured by this dump.
+        dirty_pages: u64,
+    },
+    /// Per-stage breakdown of the preceding [`TraceEvent::Dump`] span
+    /// (marker, `dur == 0`). The five fields sum to the `Dump` duration.
+    DumpDetail {
+        /// VMA/thread/fd collection cost (ns).
+        processes: Nanos,
+        /// Dirty-page identification + page copy cost (ns).
+        pages: Nanos,
+        /// TCP repair-mode socket checkpoint cost (ns).
+        sockets: Nanos,
+        /// File-system cache capture cost (ns, §III).
+        fs_cache: Nanos,
+        /// Infrequently-modified state collection cost (ns, §V-B).
+        infrequent: Nanos,
+    },
+    /// DRBD ship + epoch barrier + container resume — the tail of the stop
+    /// phase after the dump proper.
+    LocalCopy,
+    /// DRBD messages put on the replication link this epoch (marker).
+    DrbdShip {
+        /// Replicated disk writes shipped.
+        writes: u64,
+        /// Wire bytes including the barrier.
+        bytes: u64,
+    },
+    /// Wire transfer of the epoch's state to the backup.
+    Transfer {
+        /// Bytes transferred (container state + DRBD traffic).
+        bytes: u64,
+    },
+    /// Backup-side receive (plus inline commit when there is no staging
+    /// buffer).
+    BackupIngest {
+        /// Page-store insertion probes performed (0 in staging mode, where
+        /// the commit — and its probes — happens after the ack).
+        probes: u64,
+    },
+    /// Ack propagation back to the primary (one replication-link latency).
+    Ack,
+    /// The deferred backup commit after the ack (staging mode; marker —
+    /// this work is off the client-visible critical path).
+    BackupCommit {
+        /// Page-store insertion probes performed.
+        probes: u64,
+        /// DRBD-buffered disk pages applied to the backup disk.
+        disk_pages: u64,
+    },
+    /// The epoch's buffered network output was released (output commit,
+    /// §II-A). Emitted at the *release* time.
+    OutputRelease {
+        /// Packets released from the plugged qdisc.
+        packets: u64,
+    },
+    /// Responses logically delivered to clients (closed-loop collection).
+    ClientDeliver {
+        /// Responses handed to client behaviors this collection.
+        responses: u64,
+    },
+    /// A heartbeat interval elapsed with no beat (failure suspected).
+    HeartbeatMiss {
+        /// Consecutive misses so far (detection fires at the configured
+        /// allowance, 3 in the paper).
+        misses: u32,
+    },
+    /// Failure declared and failover executed (Table II breakdown).
+    Failover {
+        /// Fault-to-detection latency (ns).
+        detection_latency: Nanos,
+        /// Container restore time on the backup (ns).
+        restore: Nanos,
+        /// Gratuitous-ARP broadcast time (ns).
+        arp: Nanos,
+        /// Non-overlapped TCP retransmission delay (ns).
+        tcp: Nanos,
+        /// Remaining recovery bookkeeping (ns).
+        others: Nanos,
+    },
+}
+
+impl TraceEvent {
+    /// Stable name of this variant (the JSONL tag; used for report grouping).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceEvent::RunStart { .. } => "RunStart",
+            TraceEvent::Exec { .. } => "Exec",
+            TraceEvent::Freeze => "Freeze",
+            TraceEvent::Dump { .. } => "Dump",
+            TraceEvent::DumpDetail { .. } => "DumpDetail",
+            TraceEvent::LocalCopy => "LocalCopy",
+            TraceEvent::DrbdShip { .. } => "DrbdShip",
+            TraceEvent::Transfer { .. } => "Transfer",
+            TraceEvent::BackupIngest { .. } => "BackupIngest",
+            TraceEvent::Ack => "Ack",
+            TraceEvent::BackupCommit { .. } => "BackupCommit",
+            TraceEvent::OutputRelease { .. } => "OutputRelease",
+            TraceEvent::ClientDeliver { .. } => "ClientDeliver",
+            TraceEvent::HeartbeatMiss { .. } => "HeartbeatMiss",
+            TraceEvent::Failover { .. } => "Failover",
+        }
+    }
+
+    /// Phase spans charged to the container's *stop* time.
+    pub fn is_stop_phase(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Freeze | TraceEvent::Dump { .. } | TraceEvent::LocalCopy
+        )
+    }
+
+    /// Phase spans charged to the post-resume *ack* path.
+    pub fn is_ack_phase(&self) -> bool {
+        matches!(
+            self,
+            TraceEvent::Transfer { .. } | TraceEvent::BackupIngest { .. } | TraceEvent::Ack
+        )
+    }
+}
+
+// The offline serde stand-in's derive does not handle struct-style enum
+// variants, so (de)serialization is spelled out. The wire format follows
+// serde's externally-tagged convention: `"Freeze"` for unit variants,
+// `{"Dump":{"dirty_pages":3}}` for data variants.
+impl serde::ser::Serialize for TraceEvent {
+    fn to_value(&self) -> Value {
+        fn u(v: u64) -> Value {
+            Value::Int(v as i128)
+        }
+        fn tagged(tag: &str, fields: Vec<(String, Value)>) -> Value {
+            Value::Object(vec![(tag.to_string(), Value::Object(fields))])
+        }
+        match self {
+            TraceEvent::Freeze => Value::Str("Freeze".into()),
+            TraceEvent::LocalCopy => Value::Str("LocalCopy".into()),
+            TraceEvent::Ack => Value::Str("Ack".into()),
+            TraceEvent::RunStart { name, mode } => tagged(
+                "RunStart",
+                vec![
+                    ("name".into(), Value::Str(name.clone())),
+                    ("mode".into(), Value::Str(mode.clone())),
+                ],
+            ),
+            TraceEvent::Exec { requests, steps } => tagged(
+                "Exec",
+                vec![
+                    ("requests".into(), u(*requests)),
+                    ("steps".into(), u(*steps)),
+                ],
+            ),
+            TraceEvent::Dump { dirty_pages } => {
+                tagged("Dump", vec![("dirty_pages".into(), u(*dirty_pages))])
+            }
+            TraceEvent::DumpDetail {
+                processes,
+                pages,
+                sockets,
+                fs_cache,
+                infrequent,
+            } => tagged(
+                "DumpDetail",
+                vec![
+                    ("processes".into(), u(*processes)),
+                    ("pages".into(), u(*pages)),
+                    ("sockets".into(), u(*sockets)),
+                    ("fs_cache".into(), u(*fs_cache)),
+                    ("infrequent".into(), u(*infrequent)),
+                ],
+            ),
+            TraceEvent::DrbdShip { writes, bytes } => tagged(
+                "DrbdShip",
+                vec![("writes".into(), u(*writes)), ("bytes".into(), u(*bytes))],
+            ),
+            TraceEvent::Transfer { bytes } => tagged("Transfer", vec![("bytes".into(), u(*bytes))]),
+            TraceEvent::BackupIngest { probes } => {
+                tagged("BackupIngest", vec![("probes".into(), u(*probes))])
+            }
+            TraceEvent::BackupCommit { probes, disk_pages } => tagged(
+                "BackupCommit",
+                vec![
+                    ("probes".into(), u(*probes)),
+                    ("disk_pages".into(), u(*disk_pages)),
+                ],
+            ),
+            TraceEvent::OutputRelease { packets } => {
+                tagged("OutputRelease", vec![("packets".into(), u(*packets))])
+            }
+            TraceEvent::ClientDeliver { responses } => {
+                tagged("ClientDeliver", vec![("responses".into(), u(*responses))])
+            }
+            TraceEvent::HeartbeatMiss { misses } => {
+                tagged("HeartbeatMiss", vec![("misses".into(), u(*misses as u64))])
+            }
+            TraceEvent::Failover {
+                detection_latency,
+                restore,
+                arp,
+                tcp,
+                others,
+            } => tagged(
+                "Failover",
+                vec![
+                    ("detection_latency".into(), u(*detection_latency)),
+                    ("restore".into(), u(*restore)),
+                    ("arp".into(), u(*arp)),
+                    ("tcp".into(), u(*tcp)),
+                    ("others".into(), u(*others)),
+                ],
+            ),
+        }
+    }
+}
+
+impl serde::de::Deserialize for TraceEvent {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        if let Some(s) = v.as_str() {
+            return match s {
+                "Freeze" => Ok(TraceEvent::Freeze),
+                "LocalCopy" => Ok(TraceEvent::LocalCopy),
+                "Ack" => Ok(TraceEvent::Ack),
+                other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
+            };
+        }
+        let obj = v
+            .as_object()
+            .ok_or_else(|| serde::Error::msg("trace event: expected string or object"))?;
+        let [(tag, inner)] = obj else {
+            return Err(serde::Error::msg("trace event: expected single-key object"));
+        };
+        let f = serde::de::field::<u64>;
+        let fields = inner
+            .as_object()
+            .ok_or_else(|| serde::Error::msg(format!("{tag}: expected object payload")))?;
+        match tag.as_str() {
+            "RunStart" => Ok(TraceEvent::RunStart {
+                name: serde::de::field(fields, "name")?,
+                mode: serde::de::field(fields, "mode")?,
+            }),
+            "Exec" => Ok(TraceEvent::Exec {
+                requests: f(fields, "requests")?,
+                steps: f(fields, "steps")?,
+            }),
+            "Dump" => Ok(TraceEvent::Dump {
+                dirty_pages: f(fields, "dirty_pages")?,
+            }),
+            "DumpDetail" => Ok(TraceEvent::DumpDetail {
+                processes: f(fields, "processes")?,
+                pages: f(fields, "pages")?,
+                sockets: f(fields, "sockets")?,
+                fs_cache: f(fields, "fs_cache")?,
+                infrequent: f(fields, "infrequent")?,
+            }),
+            "DrbdShip" => Ok(TraceEvent::DrbdShip {
+                writes: f(fields, "writes")?,
+                bytes: f(fields, "bytes")?,
+            }),
+            "Transfer" => Ok(TraceEvent::Transfer {
+                bytes: f(fields, "bytes")?,
+            }),
+            "BackupIngest" => Ok(TraceEvent::BackupIngest {
+                probes: f(fields, "probes")?,
+            }),
+            "BackupCommit" => Ok(TraceEvent::BackupCommit {
+                probes: f(fields, "probes")?,
+                disk_pages: f(fields, "disk_pages")?,
+            }),
+            "OutputRelease" => Ok(TraceEvent::OutputRelease {
+                packets: f(fields, "packets")?,
+            }),
+            "ClientDeliver" => Ok(TraceEvent::ClientDeliver {
+                responses: f(fields, "responses")?,
+            }),
+            "HeartbeatMiss" => Ok(TraceEvent::HeartbeatMiss {
+                misses: serde::de::field(fields, "misses")?,
+            }),
+            "Failover" => Ok(TraceEvent::Failover {
+                detection_latency: f(fields, "detection_latency")?,
+                restore: f(fields, "restore")?,
+                arp: f(fields, "arp")?,
+                tcp: f(fields, "tcp")?,
+                others: f(fields, "others")?,
+            }),
+            other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
+        }
+    }
+}
+
+/// One record in a trace: an epoch-attributed span or marker in virtual time.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceRecord {
+    /// Epoch the record belongs to (restarts at 0 per `RunStart`).
+    pub epoch: u64,
+    /// Start time (virtual ns).
+    pub t: Nanos,
+    /// Duration (virtual ns; 0 for markers/events).
+    pub dur: Nanos,
+    /// What happened.
+    pub kind: TraceEvent,
+}
+
+/// Where trace records go. Implementations must be cheap: the pipeline emits
+/// up to ~10 records per epoch.
+pub trait TraceSink {
+    /// Accept one record.
+    fn record(&mut self, rec: &TraceRecord);
+    /// Flush buffered output (file sinks). Default: nothing to do.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// The default sink: discards everything.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn record(&mut self, _rec: &TraceRecord) {}
+}
+
+/// Bounded in-memory sink: keeps the most recent `cap` records. Read the
+/// contents back through the [`RingHandle`] from [`RingSink::handle`] (or
+/// [`Tracer::in_memory`]).
+pub struct RingSink {
+    cap: usize,
+    buf: Rc<RefCell<VecDeque<TraceRecord>>>,
+}
+
+impl RingSink {
+    /// New ring buffer holding at most `cap` records.
+    pub fn new(cap: usize) -> Self {
+        RingSink {
+            cap: cap.max(1),
+            buf: Rc::new(RefCell::new(VecDeque::new())),
+        }
+    }
+
+    /// A read handle sharing this sink's buffer.
+    pub fn handle(&self) -> RingHandle {
+        RingHandle(Rc::clone(&self.buf))
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        let mut buf = self.buf.borrow_mut();
+        if buf.len() == self.cap {
+            buf.pop_front();
+        }
+        buf.push_back(rec.clone());
+    }
+}
+
+/// Read handle over a [`RingSink`]'s buffer.
+#[derive(Clone)]
+pub struct RingHandle(Rc<RefCell<VecDeque<TraceRecord>>>);
+
+impl RingHandle {
+    /// Copy of the buffered records, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.0.borrow().iter().cloned().collect()
+    }
+
+    /// Records currently buffered.
+    pub fn len(&self) -> usize {
+        self.0.borrow().len()
+    }
+
+    /// True if nothing has been recorded (or everything was evicted).
+    pub fn is_empty(&self) -> bool {
+        self.0.borrow().is_empty()
+    }
+}
+
+/// JSONL file sink: one [`TraceRecord`] per line.
+pub struct JsonlSink {
+    out: std::io::BufWriter<std::fs::File>,
+}
+
+impl JsonlSink {
+    /// Create (truncate) `path` and stream records into it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            out: std::io::BufWriter::new(std::fs::File::create(path)?),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&mut self, rec: &TraceRecord) {
+        // Serialization of a TraceRecord cannot fail; a full disk surfaces
+        // on flush.
+        if let Ok(line) = serde_json::to_string(rec) {
+            let _ = writeln!(self.out, "{line}");
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+struct TracerInner {
+    sink: Box<dyn TraceSink>,
+    epoch: u64,
+    /// Where the next contiguous span starts.
+    cursor: Nanos,
+    /// Running sum of stop-phase span durations this epoch.
+    stop_sum: Nanos,
+    /// Running sum of ack-path span durations this epoch.
+    ack_sum: Nanos,
+    /// Whether any phase span was emitted this epoch (uninstrumented engines
+    /// emit none, and then reconciliation is vacuous).
+    saw_phase: bool,
+}
+
+/// Shared handle to a trace in progress. Cloning is cheap (`Rc`); the
+/// harness, engine, detector, and client pool all hold clones of one tracer.
+/// A disabled tracer ([`Tracer::disabled`], also [`Default`]) makes every
+/// operation a no-op.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Rc<RefCell<TracerInner>>>,
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(i) => write!(f, "Tracer(epoch={})", i.borrow().epoch),
+        }
+    }
+}
+
+impl Tracer {
+    /// A tracer that records nothing (the default everywhere).
+    pub fn disabled() -> Self {
+        Tracer { inner: None }
+    }
+
+    /// A tracer feeding `sink`.
+    pub fn new(sink: Box<dyn TraceSink>) -> Self {
+        Tracer {
+            inner: Some(Rc::new(RefCell::new(TracerInner {
+                sink,
+                epoch: 0,
+                cursor: 0,
+                stop_sum: 0,
+                ack_sum: 0,
+                saw_phase: false,
+            }))),
+        }
+    }
+
+    /// A tracer writing JSONL to `path`.
+    pub fn to_file(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        Ok(Tracer::new(Box::new(JsonlSink::create(path)?)))
+    }
+
+    /// A tracer over a fresh ring buffer, plus the read handle.
+    pub fn in_memory(cap: usize) -> (Self, RingHandle) {
+        let sink = RingSink::new(cap);
+        let handle = sink.handle();
+        (Tracer::new(Box::new(sink)), handle)
+    }
+
+    /// Whether records are being kept. Use to skip costly argument
+    /// computation at call sites.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Start a new epoch: spans emitted via [`Tracer::span`] are laid out
+    /// contiguously from `start`.
+    pub fn begin_epoch(&self, epoch: u64, start: Nanos) {
+        if let Some(inner) = &self.inner {
+            let mut i = inner.borrow_mut();
+            i.epoch = epoch;
+            i.cursor = start;
+            i.stop_sum = 0;
+            i.ack_sum = 0;
+            i.saw_phase = false;
+        }
+    }
+
+    /// Emit a span of `dur` at the cursor and advance the cursor past it.
+    /// Phase spans also feed the reconciliation sums.
+    pub fn span(&self, kind: TraceEvent, dur: Nanos) {
+        if let Some(inner) = &self.inner {
+            let mut i = inner.borrow_mut();
+            if kind.is_stop_phase() {
+                i.stop_sum += dur;
+                i.saw_phase = true;
+            } else if kind.is_ack_phase() {
+                i.ack_sum += dur;
+                i.saw_phase = true;
+            }
+            let rec = TraceRecord {
+                epoch: i.epoch,
+                t: i.cursor,
+                dur,
+                kind,
+            };
+            i.cursor += dur;
+            i.sink.record(&rec);
+        }
+    }
+
+    /// Emit a zero-duration marker at the cursor (breakdowns, commit notes).
+    pub fn mark(&self, kind: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            let mut i = inner.borrow_mut();
+            let rec = TraceRecord {
+                epoch: i.epoch,
+                t: i.cursor,
+                dur: 0,
+                kind,
+            };
+            i.sink.record(&rec);
+        }
+    }
+
+    /// Emit a zero-duration event at an explicit time `t` (releases,
+    /// heartbeat misses, failover) without moving the cursor.
+    pub fn event_at(&self, kind: TraceEvent, t: Nanos) {
+        if let Some(inner) = &self.inner {
+            let mut i = inner.borrow_mut();
+            let rec = TraceRecord {
+                epoch: i.epoch,
+                t,
+                dur: 0,
+                kind,
+            };
+            i.sink.record(&rec);
+        }
+    }
+
+    /// Check the epoch's phase spans against the engine-reported
+    /// `stop_time`/`ack_delay` (see the module docs for the exact identity)
+    /// and reset the sums. Vacuously `Ok` if no phase spans were emitted.
+    pub fn reconcile(&self, epoch: u64, stop_time: Nanos, ack_delay: Nanos) -> Result<(), String> {
+        let Some(inner) = &self.inner else {
+            return Ok(());
+        };
+        let mut i = inner.borrow_mut();
+        let (stop_sum, ack_sum, saw) = (i.stop_sum, i.ack_sum, i.saw_phase);
+        i.stop_sum = 0;
+        i.ack_sum = 0;
+        i.saw_phase = false;
+        if !saw {
+            return Ok(());
+        }
+        let ok = if ack_delay > 0 {
+            stop_sum == stop_time && ack_sum == ack_delay
+        } else {
+            stop_sum + ack_sum == stop_time
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(format!(
+                "trace reconciliation failed for epoch {epoch}: stop spans {stop_sum}ns + ack \
+                 spans {ack_sum}ns vs stop_time {stop_time}ns / ack_delay {ack_delay}ns"
+            ))
+        }
+    }
+
+    /// Flush the underlying sink (file sinks buffer).
+    pub fn flush(&self) -> std::io::Result<()> {
+        match &self.inner {
+            Some(inner) => inner.borrow_mut().sink.flush(),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.begin_epoch(1, 0);
+        t.span(TraceEvent::Freeze, 100);
+        t.reconcile(1, 999, 999).unwrap(); // never fails when disabled
+        t.flush().unwrap();
+    }
+
+    #[test]
+    fn spans_are_contiguous_and_epoch_tagged() {
+        let (t, ring) = Tracer::in_memory(16);
+        t.begin_epoch(7, 1000);
+        t.span(
+            TraceEvent::Exec {
+                requests: 3,
+                steps: 0,
+            },
+            500,
+        );
+        t.span(TraceEvent::Freeze, 10);
+        t.span(TraceEvent::Dump { dirty_pages: 2 }, 40);
+        let recs = ring.snapshot();
+        assert_eq!(recs.len(), 3);
+        assert!(recs.iter().all(|r| r.epoch == 7));
+        assert_eq!((recs[0].t, recs[0].dur), (1000, 500));
+        assert_eq!((recs[1].t, recs[1].dur), (1500, 10));
+        assert_eq!((recs[2].t, recs[2].dur), (1510, 40));
+    }
+
+    #[test]
+    fn reconcile_staging_and_inline_modes() {
+        let (t, _ring) = Tracer::in_memory(16);
+        // Staging: stop spans == stop_time, ack spans == ack_delay.
+        t.begin_epoch(1, 0);
+        t.span(TraceEvent::Freeze, 10);
+        t.span(TraceEvent::Dump { dirty_pages: 0 }, 20);
+        t.span(TraceEvent::LocalCopy, 5);
+        t.span(TraceEvent::Transfer { bytes: 1 }, 7);
+        t.span(TraceEvent::BackupIngest { probes: 0 }, 3);
+        t.span(TraceEvent::Ack, 2);
+        t.reconcile(1, 35, 12).unwrap();
+        // Inline (no staging): everything inside stop_time.
+        t.begin_epoch(2, 0);
+        t.span(TraceEvent::Freeze, 10);
+        t.span(TraceEvent::Dump { dirty_pages: 0 }, 20);
+        t.span(TraceEvent::LocalCopy, 5);
+        t.span(TraceEvent::Transfer { bytes: 1 }, 7);
+        t.span(TraceEvent::BackupIngest { probes: 0 }, 3);
+        t.span(TraceEvent::Ack, 2);
+        t.reconcile(2, 47, 0).unwrap();
+    }
+
+    #[test]
+    fn reconcile_detects_missing_span() {
+        let (t, _ring) = Tracer::in_memory(16);
+        t.begin_epoch(1, 0);
+        t.span(TraceEvent::Freeze, 10);
+        let err = t.reconcile(1, 35, 0).unwrap_err();
+        assert!(err.contains("epoch 1"), "{err}");
+        // Sums reset: the next epoch starts clean.
+        t.begin_epoch(2, 0);
+        t.span(TraceEvent::Freeze, 35);
+        t.reconcile(2, 35, 0).unwrap();
+    }
+
+    #[test]
+    fn reconcile_vacuous_without_phase_spans() {
+        let (t, _ring) = Tracer::in_memory(16);
+        t.begin_epoch(1, 0);
+        t.span(
+            TraceEvent::Exec {
+                requests: 1,
+                steps: 0,
+            },
+            30,
+        );
+        t.event_at(TraceEvent::OutputRelease { packets: 4 }, 99);
+        t.reconcile(1, 123, 456).unwrap();
+    }
+
+    #[test]
+    fn ring_sink_evicts_oldest() {
+        let (t, ring) = Tracer::in_memory(2);
+        t.begin_epoch(1, 0);
+        t.span(TraceEvent::Freeze, 1);
+        t.span(TraceEvent::LocalCopy, 1);
+        t.span(TraceEvent::Ack, 1);
+        let recs = ring.snapshot();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].kind, TraceEvent::LocalCopy);
+        assert_eq!(recs[1].kind, TraceEvent::Ack);
+    }
+
+    #[test]
+    fn every_variant_round_trips_through_json() {
+        let variants = vec![
+            TraceEvent::RunStart {
+                name: "redis".into(),
+                mode: "NiLiCon".into(),
+            },
+            TraceEvent::Exec {
+                requests: 5,
+                steps: 6,
+            },
+            TraceEvent::Freeze,
+            TraceEvent::Dump { dirty_pages: 99 },
+            TraceEvent::DumpDetail {
+                processes: 1,
+                pages: 2,
+                sockets: 3,
+                fs_cache: 4,
+                infrequent: 5,
+            },
+            TraceEvent::LocalCopy,
+            TraceEvent::DrbdShip {
+                writes: 7,
+                bytes: 4120,
+            },
+            TraceEvent::Transfer { bytes: 12345 },
+            TraceEvent::BackupIngest { probes: 44 },
+            TraceEvent::Ack,
+            TraceEvent::BackupCommit {
+                probes: 8,
+                disk_pages: 2,
+            },
+            TraceEvent::OutputRelease { packets: 3 },
+            TraceEvent::ClientDeliver { responses: 2 },
+            TraceEvent::HeartbeatMiss { misses: 2 },
+            TraceEvent::Failover {
+                detection_latency: 90,
+                restore: 218,
+                arp: 28,
+                tcp: 54,
+                others: 7,
+            },
+        ];
+        for kind in variants {
+            let rec = TraceRecord {
+                epoch: 3,
+                t: 100,
+                dur: 50,
+                kind: kind.clone(),
+            };
+            let line = serde_json::to_string(&rec).unwrap();
+            let back: TraceRecord = serde_json::from_str(&line)
+                .unwrap_or_else(|e| panic!("{}: {e:?} in {line}", kind.name()));
+            assert_eq!(back, rec, "{line}");
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_writes_one_line_per_record() {
+        let path = std::env::temp_dir().join("nilicon-trace-test.jsonl");
+        let t = Tracer::to_file(&path).unwrap();
+        t.begin_epoch(0, 0);
+        t.span(TraceEvent::Freeze, 5);
+        t.span(TraceEvent::Dump { dirty_pages: 1 }, 10);
+        t.flush().unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = content.lines().collect();
+        assert_eq!(lines.len(), 2);
+        let first: TraceRecord = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(first.kind, TraceEvent::Freeze);
+        let _ = std::fs::remove_file(&path);
+    }
+}

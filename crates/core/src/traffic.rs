@@ -7,6 +7,7 @@
 //! response to is genuinely outstanding, which is what makes the §VII-A
 //! validation meaningful across a failover.
 
+use crate::trace::{TraceEvent, Tracer};
 use nilicon_container::{encode_frame, try_decode_frame};
 use nilicon_sim::cluster::Cluster;
 use nilicon_sim::ids::{Endpoint, HostId, NsId, SockId};
@@ -138,13 +139,15 @@ impl ClientPool {
     /// Drain arrived responses. `receipt_times` supplies, per connection
     /// (keyed by the client's local endpoint), the logical receipt times of
     /// responses released by the server, in order. Returns the end-to-end
-    /// latency of each completed request.
+    /// latency of each completed request. Deliveries are traced as one
+    /// [`TraceEvent::ClientDeliver`] per non-empty collection.
     pub fn collect(
         &mut self,
         cluster: &mut Cluster,
         behavior: &mut dyn ClientBehavior,
         receipt_times: &mut HashMap<Endpoint, std::collections::VecDeque<Nanos>>,
         fallback_now: Nanos,
+        tracer: &Tracer,
     ) -> SimResult<Vec<Nanos>> {
         let mut latencies = Vec::new();
         for (idx, c) in self.conns.iter_mut().enumerate() {
@@ -166,6 +169,14 @@ impl ClientPool {
                 latencies.push(latency);
                 self.completed_total += 1;
             }
+        }
+        if !latencies.is_empty() {
+            tracer.event_at(
+                TraceEvent::ClientDeliver {
+                    responses: latencies.len() as u64,
+                },
+                fallback_now,
+            );
         }
         Ok(latencies)
     }

@@ -83,7 +83,7 @@ fn closed_loop_issue_collect_cycle() {
 
     echo_all(&mut cl, sh, sns);
     let mut receipts: HashMap<Endpoint, VecDeque<Nanos>> = HashMap::new();
-    let lats = pool.collect(&mut cl, &mut b, &mut receipts, 9_000).unwrap();
+    let lats = pool.collect(&mut cl, &mut b, &mut receipts, 9_000, &nilicon::trace::Tracer::disabled()).unwrap();
     assert_eq!(lats.len(), 3);
     assert_eq!(b.got, 3);
     assert_eq!(pool.outstanding(), 0);
@@ -103,7 +103,7 @@ fn receipt_queue_drives_latency() {
     let local = pool.local_endpoint(&mut cl, 0).unwrap();
     let mut receipts: HashMap<Endpoint, VecDeque<Nanos>> = HashMap::new();
     receipts.entry(local).or_default().push_back(42_000);
-    pool.collect(&mut cl, &mut b, &mut receipts, 0).unwrap();
+    pool.collect(&mut cl, &mut b, &mut receipts, 0, &nilicon::trace::Tracer::disabled()).unwrap();
     assert_eq!(b.last_latency, 37_000, "logical receipt 42000 - send 5000");
 }
 
@@ -128,7 +128,7 @@ fn jitter_spreads_send_times() {
     // 30ms - jitter, so distinct latencies imply distinct send stamps.
     echo_all(&mut cl, _sh, _sns);
     let mut receipts: HashMap<Endpoint, VecDeque<Nanos>> = HashMap::new();
-    let lats = pool.collect(&mut cl, &mut b, &mut receipts, 30_000_000).unwrap();
+    let lats = pool.collect(&mut cl, &mut b, &mut receipts, 30_000_000, &nilicon::trace::Tracer::disabled()).unwrap();
     let distinct: std::collections::HashSet<_> = lats.iter().collect();
     assert!(distinct.len() > 8, "think-time jitter spreads sends: {distinct:?}");
 }

@@ -113,6 +113,7 @@ pub fn dump_container(
     // Per-process state: VMAs, pages, threads, fds.
     // ------------------------------------------------------------------
     for &pid in &container.all_pids() {
+        let s_proc = kernel.meter.lifetime_total();
         let vmas = kernel.collect_vmas(pid, cfg.vma_via)?;
         let proc = kernel.proc(pid)?;
         let threads = proc.threads.clone();
@@ -121,6 +122,8 @@ pub fn dump_container(
 
         kernel.charge_thread_state(threads.len() as u64);
         kernel.charge_process_state(fds.len() as u64);
+        let s_pages = kernel.meter.lifetime_total();
+        img.stats.phases.processes += s_pages - s_proc;
 
         // Dirty (or all resident) pages.
         let vpns = if cfg.incremental {
@@ -134,6 +137,7 @@ pub fn dump_container(
             kernel.mm(pid)?.resident_vpns()
         };
         let pages = kernel.read_pages(pid, &vpns, cfg.page_via)?;
+        img.stats.phases.pages += kernel.meter.lifetime_total() - s_pages;
         img.stats.dirty_pages += pages.len() as u64;
         for (vpn, data) in pages {
             img.pages.push((pid, vpn, data));
@@ -153,7 +157,9 @@ pub fn dump_container(
     // ------------------------------------------------------------------
     // Sockets (repair mode).
     // ------------------------------------------------------------------
+    let s_sock = kernel.meter.lifetime_total();
     let (listeners, sockets) = kernel.checkpoint_sockets(container.ns.net)?;
+    img.stats.phases.sockets += kernel.meter.lifetime_total() - s_sock;
     img.stats.sockets = sockets.len() as u64;
     img.stats.socket_queue_bytes = sockets
         .iter()
@@ -165,6 +171,7 @@ pub fn dump_container(
     // ------------------------------------------------------------------
     // File-system cache (§III).
     // ------------------------------------------------------------------
+    let s_fs = kernel.meter.lifetime_total();
     match cfg.fs_cache {
         FsCacheMode::Fgetfc => {
             let (pages, inodes) = kernel.fgetfc();
@@ -178,6 +185,8 @@ pub fn dump_container(
         }
     }
     img.paths = kernel.vfs.paths().map(|(p, &i)| (p.clone(), i)).collect();
+    let s_inf = kernel.meter.lifetime_total();
+    img.stats.phases.fs_cache += s_inf - s_fs;
 
     // ------------------------------------------------------------------
     // Infrequently-modified state (§V-B).
@@ -196,7 +205,9 @@ pub fn dump_container(
         }
     }
 
-    img.stats.stop_time = kernel.meter.lifetime_total() - t0;
+    let end = kernel.meter.lifetime_total();
+    img.stats.phases.infrequent += end - s_inf;
+    img.stats.stop_time = end - t0;
     Ok(img)
 }
 
@@ -356,6 +367,30 @@ mod tests {
             "flush mode commits to storage instead"
         );
         assert_eq!(k.vfs.disk.pending_writes(), 2);
+    }
+
+    #[test]
+    fn dump_phase_breakdown_sums_to_stop_time() {
+        let (mut k, c) = setup();
+        k.mem_write(c.init_pid(), nilicon_container::MemLayout::heap(0), b"x")
+            .unwrap();
+        k.freeze_cgroup(c.cgroup, FreezeStrategy::BusyPoll).unwrap();
+        for (cfg, label) in [
+            (DumpConfig::nilicon(), "nilicon"),
+            (DumpConfig::stock(), "stock"),
+        ] {
+            k.mem_write(c.init_pid(), nilicon_container::MemLayout::heap(0), b"y")
+                .unwrap();
+            let img = dump_container(&mut k, &c, &cfg, None, 1).unwrap();
+            let ph = img.stats.phases;
+            assert_eq!(
+                ph.total(),
+                img.stats.stop_time,
+                "{label}: stage deltas must telescope to the dump total"
+            );
+            assert!(ph.processes > 0, "{label}: processes stage metered");
+            assert!(ph.infrequent > 0, "{label}: infrequent stage metered");
+        }
     }
 
     #[test]

@@ -30,6 +30,31 @@ pub struct ProcessImage {
     pub vmas: Vec<Vma>,
 }
 
+/// Per-stage cost breakdown of one dump, sampled off the kernel's lifetime
+/// meter. The five fields sum to [`DumpStats::stop_time`] — code outside the
+/// sampled stages charges nothing, so the telescoped stage deltas cover the
+/// whole dump.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DumpPhases {
+    /// VMA, thread, and fd-table collection.
+    pub processes: Nanos,
+    /// Dirty-page identification, `clear_refs` re-arm, and page copy.
+    pub pages: Nanos,
+    /// TCP repair-mode socket checkpointing.
+    pub sockets: Nanos,
+    /// File-system cache capture (fgetfc or flush) and the path table.
+    pub fs_cache: Nanos,
+    /// Infrequently-modified state (§V-B cache hit or full re-collect).
+    pub infrequent: Nanos,
+}
+
+impl DumpPhases {
+    /// Sum of all stages (equals [`DumpStats::stop_time`]).
+    pub fn total(&self) -> Nanos {
+        self.processes + self.pages + self.sockets + self.fs_cache + self.infrequent
+    }
+}
+
 /// Dump statistics (drives Tables III & IV).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct DumpStats {
@@ -45,6 +70,8 @@ pub struct DumpStats {
     pub infrequent_recollections: u32,
     /// File-cache pages captured via fgetfc (or flushed, in stock mode).
     pub fs_cache_pages: u64,
+    /// Per-stage cost breakdown (feeds the `DumpDetail` trace event).
+    pub phases: DumpPhases,
 }
 
 /// A complete (possibly incremental) checkpoint of a container.

@@ -52,7 +52,7 @@ pub mod restore;
 
 pub use cache::InfrequentCache;
 pub use dump::{dump_container, full_dump, DirtySource, DumpConfig, FsCacheMode};
-pub use image::{CheckpointImage, DumpStats, ProcessImage};
+pub use image::{CheckpointImage, DumpPhases, DumpStats, ProcessImage};
 pub use imgfile::{decode as decode_image, encode as encode_image};
 pub use pagestore::{LinkedListStore, PageKey, PageStore, RadixTreeStore};
 pub use restore::{restore_container, RestoreConfig, RestoredContainer};

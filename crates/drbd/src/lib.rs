@@ -14,6 +14,12 @@
 //!   (checkpoint acked) — so a failover never exposes a disk state ahead of
 //!   the memory state;
 //! * on failover, sealed-but-uncommitted epochs are discarded.
+//!
+//! ## Observability
+//!
+//! Link batches can be summarized with [`wire_stats`]; the NiLiCon engine
+//! feeds the result into the `DrbdShip` trace event (see `OBSERVABILITY.md`
+//! at the repo root for the full epoch-phase event schema).
 
 #![warn(missing_docs)]
 
@@ -38,6 +44,28 @@ impl DrbdMsg {
             DrbdMsg::Barrier(_) => 16,
         }
     }
+}
+
+/// Wire-accounting summary of a batch of link messages (feeds link-time
+/// cost attribution and the `DrbdShip` trace event).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// Disk-write messages in the batch.
+    pub writes: u64,
+    /// Total wire bytes, barriers included.
+    pub bytes: u64,
+}
+
+/// Summarize a batch of link messages.
+pub fn wire_stats(msgs: &[DrbdMsg]) -> WireStats {
+    let mut s = WireStats::default();
+    for m in msgs {
+        if matches!(m, DrbdMsg::Write(_)) {
+            s.writes += 1;
+        }
+        s.bytes += m.wire_bytes();
+    }
+    s
 }
 
 /// Primary-side DRBD: drains the local device's write log and ships it.
@@ -274,6 +302,19 @@ mod tests {
         });
         assert_eq!(w.wire_bytes(), 4120);
         assert_eq!(DrbdMsg::Barrier(1).wire_bytes(), 16);
+    }
+
+    #[test]
+    fn wire_stats_summarizes_batches() {
+        let mut p = pair();
+        p.pdisk.write_page(Ino(1), 0, page(1));
+        p.pdisk.write_page(Ino(1), 1, page(2));
+        let mut msgs = p.pri.ship(&mut p.pdisk);
+        msgs.push(p.pri.barrier(1));
+        let s = wire_stats(&msgs);
+        assert_eq!(s.writes, 2);
+        assert_eq!(s.bytes, 2 * 4120 + 16);
+        assert_eq!(wire_stats(&[]), WireStats::default());
     }
 
     #[test]

@@ -23,6 +23,13 @@
 //!   provide correct handling of disk state", §VII-C). We model the same:
 //!   primary disk writes are dropped from the replication stream, and the
 //!   backup disk is stale at failover — the documented correctness caveat.
+//!
+//! ## Observability
+//!
+//! `McEngine` keeps the default no-op [`Checkpointer::set_tracer`], so a
+//! traced MC run records the harness-level spans (`Exec`, `OutputRelease`,
+//! detector events) but no engine phase breakdown; the per-epoch
+//! reconciliation check is then vacuous by design (see `OBSERVABILITY.md`).
 
 #![warn(missing_docs)]
 

@@ -34,6 +34,7 @@ struct Args {
     clients: usize,
     fault_at_ms: Option<u64>,
     scale: String,
+    trace: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -44,6 +45,7 @@ fn parse_args() -> Result<Args, String> {
         clients: 4,
         fault_at_ms: None,
         scale: "small".into(),
+        trace: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -69,6 +71,7 @@ fn parse_args() -> Result<Args, String> {
                 )
             }
             "--scale" | "-s" => args.scale = val("--scale")?,
+            "--trace" | "-t" => args.trace = Some(val("--trace")?),
             "--list" => {
                 println!("workloads: {}", WORKLOADS.join(", "));
                 println!("engines  : nilicon, mc, colo, stock");
@@ -78,7 +81,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: nilicon-demo [--workload NAME] [--engine nilicon|mc|colo|stock] \
-                     [--epochs N] [--clients N] [--fault-at-ms T] [--scale small|bench|paper] [--list]"
+                     [--epochs N] [--clients N] [--fault-at-ms T] [--scale small|bench|paper] \
+                     [--trace FILE.jsonl] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -175,6 +179,19 @@ fn main() {
         w.parallelism,
     )
     .expect("harness construction");
+    if let Some(path) = &args.trace {
+        let tracer =
+            nilicon_repro::core::trace::Tracer::to_file(path).expect("create trace file");
+        tracer.event_at(
+            nilicon_repro::core::trace::TraceEvent::RunStart {
+                name: name.to_string(),
+                mode: args.engine.clone(),
+            },
+            0,
+        );
+        h.set_tracer(tracer);
+        println!("tracing epoch phases to {path} (see OBSERVABILITY.md)");
+    }
     if let Some(ms) = args.fault_at_ms {
         h.inject_fault_at(ms * 1_000_000);
         println!("fail-stop fault scheduled at t={ms}ms");

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no crates.io access, so benches link against
+//! this minimal shim: each registered benchmark closure is executed a small
+//! fixed number of times and wall-clock timed with `std::time::Instant` —
+//! enough for `cargo bench -- --test` smoke coverage and for eyeballing
+//! gross regressions, with none of real criterion's statistics.
+
+use std::time::Instant;
+
+/// Benchmark registry and runner.
+pub struct Criterion {
+    _priv: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _priv: () }
+    }
+}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup {
+        BenchmarkGroup { name: name.into() }
+    }
+
+    /// Run a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Into<String>, f: F) {
+        run_one(&name.into(), f);
+    }
+
+    /// Configuration hook (accepted, ignored).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Finalization hook (no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup {
+    name: String,
+}
+
+impl BenchmarkGroup {
+    /// Sample-count hint (accepted, ignored).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run a named benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl BenchId, f: F) {
+        run_one(&format!("{}/{}", self.name, id.render()), f);
+    }
+
+    /// Run a parameterized benchmark within this group.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl BenchId,
+        input: &I,
+        mut f: F,
+    ) {
+        run_one(&format!("{}/{}", self.name, id.render()), |b| f(b, input));
+    }
+
+    /// End the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Things usable as a benchmark name (`&str`, `String`, [`BenchmarkId`]).
+pub trait BenchId {
+    /// Display form of the id.
+    fn render(&self) -> String;
+}
+
+impl BenchId for &str {
+    fn render(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl BenchId for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+/// A function-name + parameter benchmark id.
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// Combine a function name and a displayable parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", function.into(), parameter),
+        }
+    }
+}
+
+impl BenchId for BenchmarkId {
+    fn render(&self) -> String {
+        self.text.clone()
+    }
+}
+
+/// Batch-size hint for `iter_batched` (accepted, ignored).
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per batch.
+    PerIteration,
+}
+
+/// Passed to benchmark closures; `iter`/`iter_batched` time the routine.
+pub struct Bencher {
+    iters: u32,
+    total_nanos: u128,
+}
+
+impl Bencher {
+    /// Time `routine` over a few iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            let out = routine();
+            self.total_nanos += t.elapsed().as_nanos();
+            drop(out);
+        }
+    }
+
+    /// Time `routine` with fresh setup output per iteration.
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.total_nanos += t.elapsed().as_nanos();
+            drop(out);
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
+    let mut b = Bencher {
+        iters: 3,
+        total_nanos: 0,
+    };
+    f(&mut b);
+    let per_iter = b.total_nanos / u128::from(b.iters.max(1));
+    println!("bench {name}: ~{per_iter} ns/iter (offline shim, {} iters)", b.iters);
+}
+
+/// Group benchmark functions under one registration symbol.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Emit `main` running the registered groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench -- --test` passes `--test`; all args are ignored.
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}

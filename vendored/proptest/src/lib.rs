@@ -1,0 +1,509 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! This build environment has no crates.io access, so the workspace vendors
+//! a minimal property-testing engine under the same crate name. It supports
+//! the subset this repository's tests use:
+//!
+//! - `proptest! { #![proptest_config(ProptestConfig::with_cases(N))]
+//!   #[test] fn f(x in strategy, ...) { ... } }`
+//! - strategies: integer ranges, `any::<T>()`, `Just`, tuples (2–8),
+//!   `.prop_map`, `prop_oneof!` (weighted and unweighted),
+//!   `proptest::collection::vec`, `proptest::option::of`,
+//!   `prop::sample::Index`, and `"[class]{m,n}"` string patterns
+//! - assertions: `prop_assert!` / `prop_assert_eq!`
+//!
+//! Differences from real proptest: the RNG is a fixed-seed SplitMix64 (every
+//! run explores the same cases — deterministic by design for this repo's
+//! virtual-time tests) and there is **no shrinking**: a failing case reports
+//! its case number and message only.
+
+use std::marker::PhantomData;
+use std::ops::Range;
+use std::rc::Rc;
+
+/// Deterministic RNG driving all strategies (SplitMix64, fixed seed).
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// The fixed-seed RNG used by the [`proptest!`] harness.
+    pub fn deterministic() -> Self {
+        TestRng {
+            state: 0x0bad_5eed_cafe_f00d ^ 0x9E37_79B9_7F4A_7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish value in `[0, n)`. `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Unlike real proptest there is no value tree / shrinking: `generate`
+/// produces the final value directly.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.generate(rng)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Weighted choice between boxed strategies ([`prop_oneof!`]).
+pub struct Union<V> {
+    arms: Vec<(u32, BoxedStrategy<V>)>,
+    total: u32,
+}
+
+impl<V> Union<V> {
+    /// Build from `(weight, strategy)` arms. Weights must sum to nonzero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<V>)>) -> Self {
+        let total = arms.iter().map(|(w, _)| *w).sum();
+        assert!(total > 0, "prop_oneof: weights sum to zero");
+        Union { arms, total }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let mut pick = rng.below(self.total as u64) as u32;
+        for (w, s) in &self.arms {
+            if pick < *w {
+                return s.generate(rng);
+            }
+            pick -= w;
+        }
+        unreachable!("prop_oneof: weight bookkeeping")
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// Produce an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! int_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Strategy producing any value of `T` (via [`Arbitrary`]).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! tuple_strategy {
+    ($($idx:tt $name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(0 A, 1 B);
+tuple_strategy!(0 A, 1 B, 2 C);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 F);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G);
+tuple_strategy!(0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H);
+
+/// String pattern strategy: supports exactly `"[class]{m,n}"`, `"[class]{m}"`
+/// and `"[class]"` where `class` lists literal characters and `a-z` ranges.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_pattern(self);
+        let len = if max > min {
+            min + rng.below((max - min + 1) as u64) as usize
+        } else {
+            min
+        };
+        (0..len)
+            .map(|_| alphabet[rng.below(alphabet.len() as u64) as usize])
+            .collect()
+    }
+}
+
+fn parse_pattern(pat: &str) -> (Vec<char>, usize, usize) {
+    let rest = pat
+        .strip_prefix('[')
+        .unwrap_or_else(|| panic!("unsupported string pattern `{pat}`"));
+    let close = rest
+        .find(']')
+        .unwrap_or_else(|| panic!("unterminated class in `{pat}`"));
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut i = 0;
+    while i < class.len() {
+        if i + 2 < class.len() && class[i + 1] == '-' {
+            let (lo, hi) = (class[i] as u32, class[i + 2] as u32);
+            for c in lo..=hi {
+                alphabet.push(char::from_u32(c).unwrap());
+            }
+            i += 3;
+        } else {
+            alphabet.push(class[i]);
+            i += 1;
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in `{pat}`");
+    let reps = &rest[close + 1..];
+    if reps.is_empty() {
+        return (alphabet, 1, 1);
+    }
+    let inner = reps
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in `{pat}`"));
+    let (min, max) = match inner.split_once(',') {
+        Some((a, b)) => (a.trim().parse().unwrap(), b.trim().parse().unwrap()),
+        None => {
+            let n = inner.trim().parse().unwrap();
+            (n, n)
+        }
+    };
+    (alphabet, min, max)
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use super::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Element-count bounds for collection strategies.
+    pub struct SizeRange {
+        min: usize,
+        max_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                min: r.start,
+                max_excl: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                min: n,
+                max_excl: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from a [`SizeRange`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector of values from `elem`, sized within `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max_excl - self.size.min) as u64;
+            let len = self.size.min + rng.below(span.max(1)) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    //! Option strategies (`of`).
+
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>` (25% `None`).
+    pub struct OptionStrategy<S>(S);
+
+    /// `Some` from the inner strategy 75% of the time, else `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.below(4) == 0 {
+                None
+            } else {
+                Some(self.0.generate(rng))
+            }
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling helpers (`Index`).
+
+    use super::{Arbitrary, TestRng};
+
+    /// An abstract index, resolved against a concrete length with
+    /// [`Index::index`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// Resolve to a concrete index `< len`. Panics if `len == 0`.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+/// Per-`proptest!` configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+pub mod prelude {
+    //! Everything the tests import.
+
+    pub use crate as prop;
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Fallible assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed at {}:{}: {}",
+                file!(),
+                line!(),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Fallible equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assert_eq failed at {}:{}: {:?} != {:?}",
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err(format!(
+                "assert_eq failed at {}:{}: {}: {:?} != {:?}",
+                file!(),
+                line!(),
+                format!($($fmt)+),
+                l,
+                r
+            ));
+        }
+    }};
+}
+
+/// Weighted or unweighted choice between strategies of one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Declare property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that runs `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($config) $($rest)*);
+    };
+    (@run ($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::TestRng::deterministic();
+                for case in 0..config.cases {
+                    let outcome = {
+                        $(let $pat = $crate::Strategy::generate(&($strat), &mut rng);)+
+                        (move || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            Ok(())
+                        })()
+                    };
+                    if let Err(msg) = outcome {
+                        panic!("proptest {} failed on case {case}: {msg}", stringify!($name));
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}

@@ -1,0 +1,354 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace
+//! vendors a minimal serialization framework under the same crate name.
+//! It supports exactly what this repository uses: `#[derive(Serialize,
+//! Deserialize)]` on non-generic structs and enums, plus `serde_json`'s
+//! `to_string`/`from_str` over a single [`Value`] data model.
+//!
+//! The data model is a JSON-shaped tree ([`Value`]); `Serialize` converts a
+//! type *into* a tree, `Deserialize` reconstructs a type *from* one. Derived
+//! impls follow serde's externally-tagged conventions (unit enum variants as
+//! strings, data variants as single-key objects, newtype structs as their
+//! inner value) so the emitted JSON looks like real serde's output.
+
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The serialization data model: a JSON-shaped value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Integer (covers the full `u64`/`i64` range).
+    Int(i128),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, as ordered key/value pairs (insertion order preserved).
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object pairs, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer contents, if numeric.
+    pub fn as_int(&self) -> Option<i128> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::Float(f) if f.fract() == 0.0 => Some(*f as i128),
+            _ => None,
+        }
+    }
+
+    /// The float contents, if numeric.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl Error {
+    /// New error with a message.
+    pub fn msg(m: impl Into<String>) -> Self {
+        Error(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+pub mod ser {
+    //! Serialization: types → [`Value`](crate::Value).
+
+    use super::Value;
+
+    /// Convert `self` into the [`Value`] data model.
+    pub trait Serialize {
+        /// Produce the value tree for `self`.
+        fn to_value(&self) -> Value;
+    }
+
+    macro_rules! ser_int {
+        ($($t:ty),*) => {$(
+            impl Serialize for $t {
+                fn to_value(&self) -> Value { Value::Int(*self as i128) }
+            }
+        )*};
+    }
+    ser_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Serialize for f32 {
+        fn to_value(&self) -> Value {
+            Value::Float(*self as f64)
+        }
+    }
+    impl Serialize for f64 {
+        fn to_value(&self) -> Value {
+            Value::Float(*self)
+        }
+    }
+    impl Serialize for bool {
+        fn to_value(&self) -> Value {
+            Value::Bool(*self)
+        }
+    }
+    impl Serialize for String {
+        fn to_value(&self) -> Value {
+            Value::Str(self.clone())
+        }
+    }
+    impl Serialize for str {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+    impl Serialize for char {
+        fn to_value(&self) -> Value {
+            Value::Str(self.to_string())
+        }
+    }
+
+    impl<T: Serialize + ?Sized> Serialize for &T {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+    impl<T: Serialize + ?Sized> Serialize for Box<T> {
+        fn to_value(&self) -> Value {
+            (**self).to_value()
+        }
+    }
+    impl<T: Serialize> Serialize for Option<T> {
+        fn to_value(&self) -> Value {
+            match self {
+                Some(v) => v.to_value(),
+                None => Value::Null,
+            }
+        }
+    }
+    impl<T: Serialize> Serialize for Vec<T> {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+    impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+    impl<T: Serialize> Serialize for [T] {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+    impl<T: Serialize, const N: usize> Serialize for [T; N] {
+        fn to_value(&self) -> Value {
+            Value::Array(self.iter().map(Serialize::to_value).collect())
+        }
+    }
+
+    macro_rules! ser_tuple {
+        ($($n:tt $t:ident),+) => {
+            impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+                fn to_value(&self) -> Value {
+                    Value::Array(vec![$(self.$n.to_value()),+])
+                }
+            }
+        };
+    }
+    ser_tuple!(0 A);
+    ser_tuple!(0 A, 1 B);
+    ser_tuple!(0 A, 1 B, 2 C);
+    ser_tuple!(0 A, 1 B, 2 C, 3 D);
+    ser_tuple!(0 A, 1 B, 2 C, 3 D, 4 E);
+
+    impl<K: ToString, V: Serialize, S> Serialize for std::collections::HashMap<K, V, S> {
+        fn to_value(&self) -> Value {
+            let mut pairs: Vec<(String, Value)> = self
+                .iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect();
+            pairs.sort_by(|a, b| a.0.cmp(&b.0));
+            Value::Object(pairs)
+        }
+    }
+    impl<K: ToString, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+        fn to_value(&self) -> Value {
+            Value::Object(
+                self.iter()
+                    .map(|(k, v)| (k.to_string(), v.to_value()))
+                    .collect(),
+            )
+        }
+    }
+}
+
+pub mod de {
+    //! Deserialization: [`Value`](crate::Value) → types.
+
+    use super::{Error, Value};
+
+    /// Reconstruct `Self` from the [`Value`] data model.
+    pub trait Deserialize: Sized {
+        /// Parse `Self` out of a value tree.
+        fn from_value(v: &Value) -> Result<Self, Error>;
+    }
+
+    /// Derived-code helper: extract and deserialize object field `name`.
+    pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, Error> {
+        match obj.iter().find(|(k, _)| k == name) {
+            Some((_, v)) => T::from_value(v),
+            None => Err(Error::msg(format!("missing field `{name}`"))),
+        }
+    }
+
+    macro_rules! de_int {
+        ($($t:ty),*) => {$(
+            impl Deserialize for $t {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    v.as_int()
+                        .and_then(|i| <$t>::try_from(i).ok())
+                        .ok_or_else(|| Error::msg(concat!("expected ", stringify!($t))))
+                }
+            }
+        )*};
+    }
+    de_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Deserialize for f64 {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            v.as_float().ok_or_else(|| Error::msg("expected float"))
+        }
+    }
+    impl Deserialize for f32 {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            f64::from_value(v).map(|f| f as f32)
+        }
+    }
+    impl Deserialize for bool {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Bool(b) => Ok(*b),
+                _ => Err(Error::msg("expected bool")),
+            }
+        }
+    }
+    impl Deserialize for String {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or_else(|| Error::msg("expected string"))
+        }
+    }
+
+    impl<T: Deserialize> Deserialize for Option<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            match v {
+                Value::Null => Ok(None),
+                other => T::from_value(other).map(Some),
+            }
+        }
+    }
+    impl<T: Deserialize> Deserialize for Box<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            T::from_value(v).map(Box::new)
+        }
+    }
+    impl<T: Deserialize> Deserialize for Vec<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            v.as_array()
+                .ok_or_else(|| Error::msg("expected array"))?
+                .iter()
+                .map(T::from_value)
+                .collect()
+        }
+    }
+    impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            Vec::<T>::from_value(v).map(Into::into)
+        }
+    }
+    impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+        fn from_value(v: &Value) -> Result<Self, Error> {
+            let items = Vec::<T>::from_value(v)?;
+            if items.len() != N {
+                return Err(Error::msg(format!("expected array of length {N}")));
+            }
+            match items.try_into() {
+                Ok(arr) => Ok(arr),
+                Err(_) => Err(Error::msg("array length mismatch")),
+            }
+        }
+    }
+
+    macro_rules! de_tuple {
+        ($($n:tt $t:ident),+) => {
+            impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+                fn from_value(v: &Value) -> Result<Self, Error> {
+                    let a = v.as_array().ok_or_else(|| Error::msg("expected tuple array"))?;
+                    Ok(($($t::from_value(
+                        a.get($n).ok_or_else(|| Error::msg("tuple too short"))?
+                    )?,)+))
+                }
+            }
+        };
+    }
+    de_tuple!(0 A);
+    de_tuple!(0 A, 1 B);
+    de_tuple!(0 A, 1 B, 2 C);
+    de_tuple!(0 A, 1 B, 2 C, 3 D);
+}
+
+// The traits share names with the derive macros (different namespaces),
+// mirroring real serde: `use serde::{Serialize, Deserialize}` brings in both.
+pub use de::Deserialize;
+pub use ser::Serialize;

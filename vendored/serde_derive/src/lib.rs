@@ -1,0 +1,403 @@
+//! Derive macros for the vendored offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes this workspace actually uses: named-field structs, tuple
+//! structs (any arity, newtype included), unit structs, and enums whose
+//! variants are unit or tuple variants. Generic items are rejected.
+//!
+//! The implementation deliberately avoids `syn`/`quote` (unavailable
+//! offline): it walks the raw `TokenTree`s to extract the item shape, then
+//! emits the impl as a string and re-parses it into a `TokenStream`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Parsed shape of the derive input item.
+enum Item {
+    /// `struct Name { f1: T1, ... }`
+    NamedStruct { name: String, fields: Vec<String> },
+    /// `struct Name(T1, ...);` — arity recorded, field types inferred.
+    TupleStruct { name: String, arity: usize },
+    /// `struct Name;`
+    UnitStruct { name: String },
+    /// `enum Name { V1, V2(T), V3(T, U), ... }`
+    Enum { name: String, variants: Vec<(String, usize)> },
+}
+
+/// Skip any `#[...]` attributes (doc comments included) starting at `i`.
+fn skip_attrs(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i + 1 < tokens.len() {
+        match (&tokens[i], &tokens[i + 1]) {
+            (TokenTree::Punct(p), TokenTree::Group(g))
+                if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+            {
+                i += 2;
+            }
+            _ => break,
+        }
+    }
+    i
+}
+
+/// Skip `pub` / `pub(...)` starting at `i`.
+fn skip_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+/// Count comma-separated entries in a field/variant-data group, ignoring
+/// commas nested inside `<...>` (angle brackets are punctuation, not groups).
+fn count_entries(g: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut depth = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    commas += 1;
+                    trailing_comma = true;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        trailing_comma = false;
+    }
+    commas + 1 - usize::from(trailing_comma)
+}
+
+/// Extract field names from a named-field struct body.
+fn named_fields(g: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_vis(&tokens, skip_attrs(&tokens, i));
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected field name, found `{other}`"),
+            None => break,
+        };
+        fields.push(name);
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => panic!("serde derive: expected `:` after field name"),
+        }
+        // Skip the type: everything up to the next comma at angle depth 0.
+        let mut depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => depth -= 1,
+                    ',' if depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Extract `(variant_name, tuple_arity)` pairs from an enum body.
+/// Arity 0 means a unit variant.
+fn enum_variants(g: &proc_macro::Group) -> Vec<(String, usize)> {
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs(&tokens, i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("serde derive: expected variant name, found `{other}`"),
+            None => break,
+        };
+        i += 1;
+        let arity = match tokens.get(i) {
+            Some(TokenTree::Group(d)) if d.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                count_entries(d)
+            }
+            Some(TokenTree::Group(d)) if d.delimiter() == Delimiter::Brace => {
+                panic!("serde derive: struct-style enum variants are not supported offline")
+            }
+            _ => 0,
+        };
+        variants.push((name, arity));
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            Some(other) => panic!("serde derive: expected `,` after variant, found `{other}`"),
+        }
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_vis(&tokens, skip_attrs(&tokens, 0));
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde derive: expected `struct` or `enum`"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => panic!("serde derive: expected item name"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde derive: generic types are not supported offline (on `{name}`)");
+        }
+    }
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: named_fields(g),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_entries(g),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            _ => panic!("serde derive: unrecognized struct body for `{name}`"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                variants: enum_variants(g),
+            },
+            _ => panic!("serde derive: expected enum body for `{name}`"),
+        },
+        other => panic!("serde derive: cannot derive on `{other}` items"),
+    }
+}
+
+/// `#[derive(Serialize)]`: emit an `impl serde::ser::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let pairs = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{f}\".to_string(), serde::ser::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Object(vec![{pairs}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::ser::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{\n\
+                     serde::ser::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems = (0..arity)
+                .map(|n| format!("serde::ser::Serialize::to_value(&self.{n})"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         serde::Value::Array(vec![{elems}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::ser::Serialize for {name} {{\n\
+                 fn to_value(&self) -> serde::Value {{ serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => serde::Value::Str(\"{v}\".to_string()),"),
+                    1 => format!(
+                        "{name}::{v}(x0) => serde::Value::Object(vec![(\"{v}\".to_string(), \
+                         serde::ser::Serialize::to_value(x0))]),"
+                    ),
+                    n => {
+                        let binds = (0..*n)
+                            .map(|k| format!("x{k}"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let elems = (0..*n)
+                            .map(|k| format!("serde::ser::Serialize::to_value(x{k})"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "{name}::{v}({binds}) => serde::Value::Object(vec![(\"{v}\".to_string(), \
+                             serde::Value::Array(vec![{elems}]))]),"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            format!(
+                "impl serde::ser::Serialize for {name} {{\n\
+                     fn to_value(&self) -> serde::Value {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde derive: generated impl parses")
+}
+
+/// `#[derive(Deserialize)]`: emit an `impl serde::de::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_item(input) {
+        Item::NamedStruct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: serde::de::field(o, \"{f}\")?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl serde::de::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let o = v.as_object().ok_or_else(|| \
+                             serde::Error::msg(\"expected object for {name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl serde::de::Deserialize for {name} {{\n\
+                 fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name}(serde::de::Deserialize::from_value(v)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems = (0..arity)
+                .map(|n| format!("serde::de::Deserialize::from_value(&a[{n}])?"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!(
+                "impl serde::de::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         let a = v.as_array().ok_or_else(|| \
+                             serde::Error::msg(\"expected array for {name}\"))?;\n\
+                         if a.len() != {arity} {{\n\
+                             return Err(serde::Error::msg(\"wrong arity for {name}\"));\n\
+                         }}\n\
+                         Ok({name}({elems}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl serde::de::Deserialize for {name} {{\n\
+                 fn from_value(_v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                     Ok({name})\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("\"{v}\" => return Ok({name}::{v}),"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            let data_arms = variants
+                .iter()
+                .filter(|(_, a)| *a > 0)
+                .map(|(v, arity)| match arity {
+                    1 => format!(
+                        "\"{v}\" => return Ok({name}::{v}(\
+                         serde::de::Deserialize::from_value(inner)?)),"
+                    ),
+                    n => {
+                        let elems = (0..*n)
+                            .map(|k| format!("serde::de::Deserialize::from_value(&a[{k}])?"))
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        format!(
+                            "\"{v}\" => {{\n\
+                                 let a = inner.as_array().ok_or_else(|| \
+                                     serde::Error::msg(\"expected array for {name}::{v}\"))?;\n\
+                                 if a.len() != {n} {{\n\
+                                     return Err(serde::Error::msg(\"wrong arity for {name}::{v}\"));\n\
+                                 }}\n\
+                                 return Ok({name}::{v}({elems}));\n\
+                             }}"
+                        )
+                    }
+                })
+                .collect::<Vec<_>>()
+                .join("\n");
+            let str_block = if unit_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let Some(s) = v.as_str() {{\n\
+                         match s {{\n{unit_arms}\n_ => {{}}\n}}\n\
+                     }}\n"
+                )
+            };
+            let obj_block = if data_arms.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "if let Some(o) = v.as_object() {{\n\
+                         if o.len() == 1 {{\n\
+                             let (tag, inner) = (&o[0].0, &o[0].1);\n\
+                             match tag.as_str() {{\n{data_arms}\n_ => {{}}\n}}\n\
+                         }}\n\
+                     }}\n"
+                )
+            };
+            format!(
+                "impl serde::de::Deserialize for {name} {{\n\
+                     fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {{\n\
+                         {str_block}{obj_block}\
+                         Err(serde::Error::msg(\"unrecognized value for {name}\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse().expect("serde derive: generated impl parses")
+}
