@@ -36,8 +36,11 @@ fn seeded<S: PageStore + Default>(history: usize, pages: u64) -> S {
 }
 
 fn bench_insert_vs_history(c: &mut Criterion) {
+    // 512 checkpoints ≈ 15 s of 30 ms epochs: the paper's "catastrophic at
+    // 33 checkpoints/second" regime, where the list probes 512 directories
+    // per insert while the radix tree still probes 4.
     let mut group = c.benchmark_group("pagestore_insert_after_history");
-    for history in [1usize, 8, 32, 128] {
+    for history in [1usize, 8, 32, 128, 512] {
         group.bench_with_input(
             BenchmarkId::new("linked_list", history),
             &history,

@@ -23,6 +23,7 @@ const PHASES: &[&str] = &[
     "Exec",
     "Freeze",
     "Dump",
+    "DeltaEncode",
     "LocalCopy",
     "Transfer",
     "BackupIngest",
@@ -45,6 +46,11 @@ struct Section {
     commit_disk_pages: u64,
     released_packets: u64,
     delivered_responses: u64,
+    delta_raw_bytes: u64,
+    delta_encoded_bytes: u64,
+    delta_zero_pages: u64,
+    delta_delta_pages: u64,
+    delta_full_pages: u64,
     heartbeat_misses: u64,
     failovers: Vec<TraceEvent>,
 }
@@ -66,6 +72,7 @@ impl Section {
             TraceEvent::Exec { .. }
                 | TraceEvent::Freeze
                 | TraceEvent::Dump { .. }
+                | TraceEvent::DeltaEncode { .. }
                 | TraceEvent::LocalCopy
                 | TraceEvent::Transfer { .. }
                 | TraceEvent::BackupIngest { .. }
@@ -75,6 +82,19 @@ impl Section {
         }
         match kind {
             TraceEvent::Dump { dirty_pages } => self.dirty_pages += dirty_pages,
+            TraceEvent::DeltaEncode {
+                zero_pages,
+                delta_pages,
+                full_pages,
+                raw_bytes,
+                encoded_bytes,
+            } => {
+                self.delta_zero_pages += zero_pages;
+                self.delta_delta_pages += delta_pages;
+                self.delta_full_pages += full_pages;
+                self.delta_raw_bytes += raw_bytes;
+                self.delta_encoded_bytes += encoded_bytes;
+            }
             TraceEvent::Transfer { bytes } => self.transfer_bytes += bytes,
             TraceEvent::DrbdShip { writes, bytes } => {
                 self.drbd_writes += writes;
@@ -144,7 +164,7 @@ impl Section {
             }
             let stop: f64 = overhead
                 .iter()
-                .filter(|(p, _)| matches!(*p, "Freeze" | "Dump" | "LocalCopy"))
+                .filter(|(p, _)| matches!(*p, "Freeze" | "Dump" | "DeltaEncode" | "LocalCopy"))
                 .map(|(_, v)| v)
                 .sum();
             println!(
@@ -169,6 +189,19 @@ impl Section {
             self.released_packets,
             self.delivered_responses,
         );
+        if self.delta_raw_bytes > 0 {
+            let ratio = self.delta_encoded_bytes as f64 / self.delta_raw_bytes as f64;
+            println!(
+                "delta transfer: {} B raw -> {} B encoded ({:.1}% of raw; \
+                 {} zero / {} delta / {} full pages)",
+                self.delta_raw_bytes,
+                self.delta_encoded_bytes,
+                100.0 * ratio,
+                self.delta_zero_pages,
+                self.delta_delta_pages,
+                self.delta_full_pages,
+            );
+        }
         if self.heartbeat_misses > 0 {
             println!("heartbeat misses: {}", self.heartbeat_misses);
         }

@@ -14,9 +14,36 @@ use serde::Serialize;
 /// infrequent-state cache; the paper's 100-run averages are warm).
 pub const WARMUP_EPOCHS: usize = 4;
 
-/// A NiLiCon run mode with the given optimization set.
+/// A NiLiCon run mode with the given optimization set, plus any EXTENSION
+/// knobs passed on the command line (see [`apply_cli_extensions`]).
 pub fn nilicon_mode(opts: OptimizationConfig) -> RunMode {
+    let opts = apply_cli_extensions(opts, std::env::args());
     RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())))
+}
+
+/// Overlay EXTENSION flags onto a paper-faithful optimization row:
+/// `--delta` enables delta-encoded checkpoint transfer, `--dump-workers N`
+/// shards the per-process dump loop. With neither flag present the row is
+/// returned untouched, so every table binary stays paper-faithful by
+/// default but can demo the extensions (visible in `trace-report`'s
+/// DeltaEncode phase and encoded-vs-raw byte line).
+pub fn apply_cli_extensions(
+    mut opts: OptimizationConfig,
+    mut args: impl Iterator<Item = String>,
+) -> OptimizationConfig {
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--delta" => opts.delta_transfer = true,
+            "--dump-workers" => {
+                opts.dump_workers = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--dump-workers requires a worker count");
+            }
+            _ => {}
+        }
+    }
+    opts
 }
 
 /// The MC baseline run mode.
@@ -258,5 +285,21 @@ mod tests {
     fn modes_construct() {
         let _ = nilicon_mode(nilicon::OptimizationConfig::nilicon());
         let _ = mc_mode();
+    }
+
+    #[test]
+    fn cli_extensions_overlay_flags() {
+        let base = nilicon::OptimizationConfig::nilicon();
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+
+        let untouched = apply_cli_extensions(base, args(&["table1", "30"]).into_iter());
+        assert_eq!(untouched, base, "no flags -> paper-faithful row");
+
+        let extended = apply_cli_extensions(
+            base,
+            args(&["table1", "--delta", "--dump-workers", "4"]).into_iter(),
+        );
+        assert!(extended.delta_transfer);
+        assert_eq!(extended.dump_workers, 4);
     }
 }

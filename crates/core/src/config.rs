@@ -39,6 +39,17 @@ pub struct OptimizationConfig {
     /// replaces the footprint-proportional pagemap scan with a
     /// dirty-proportional log drain. Off in every paper reproduction run.
     pub pml_tracking: bool,
+    /// EXTENSION (HyCoR, arXiv:2101.09584): delta-encode the epoch's dirty
+    /// pages against the last shipped epoch before transfer — zero pages
+    /// elided, sparse changes as XOR deltas, dense churn as full pages.
+    /// `transfer_cost` is then charged on *encoded* bytes; a per-page encode
+    /// cost lands in the stop phase and a decode cost on the backup. Off in
+    /// every paper reproduction run.
+    pub delta_transfer: bool,
+    /// EXTENSION (§VIII concurrency): shard the per-process dump loop across
+    /// this many workers; stop time charges the max shard instead of the
+    /// sum. `1` (the paper's serial dump) in every reproduction run.
+    pub dump_workers: u32,
 }
 
 impl OptimizationConfig {
@@ -53,6 +64,8 @@ impl OptimizationConfig {
             shm_page_transfer: false,
             optimized_rto: false,
             pml_tracking: false,
+            delta_transfer: false,
+            dump_workers: 1,
         }
     }
 
@@ -67,6 +80,8 @@ impl OptimizationConfig {
             shm_page_transfer: true,
             optimized_rto: true,
             pml_tracking: false,
+            delta_transfer: false,
+            dump_workers: 1,
         }
     }
 
@@ -118,6 +133,7 @@ impl OptimizationConfig {
             // NiLiCon always uses fgetfc — the DNC kernel change predates the
             // §V optimization sequence (it is part of the basic design, §III).
             fs_cache: FsCacheMode::Fgetfc,
+            workers: self.dump_workers.max(1),
         }
     }
 }
@@ -197,6 +213,22 @@ mod tests {
         assert_eq!(full.page_via, PageTransferVia::SharedMem);
         assert!(!full.via_proxy);
         assert_eq!(full.fs_cache, FsCacheMode::Fgetfc);
+        assert_eq!(full.workers, 1, "paper runs dump serially");
+    }
+
+    #[test]
+    fn extensions_default_off_in_paper_configs() {
+        for cfg in [OptimizationConfig::basic(), OptimizationConfig::nilicon()] {
+            assert!(!cfg.pml_tracking);
+            assert!(!cfg.delta_transfer);
+            assert_eq!(cfg.dump_workers, 1);
+        }
+        // Sharding knob flows through to the CRIU dump config (clamped ≥ 1).
+        let mut cfg = OptimizationConfig::nilicon();
+        cfg.dump_workers = 4;
+        assert_eq!(cfg.dump_config().workers, 4);
+        cfg.dump_workers = 0;
+        assert_eq!(cfg.dump_config().workers, 1);
     }
 
     #[test]

@@ -5,7 +5,7 @@ use crate::config::OptimizationConfig;
 use crate::engine::{CheckpointOutcome, Checkpointer, FailoverReport};
 use crate::trace::{TraceEvent, Tracer};
 use nilicon_container::Container;
-use nilicon_criu::{dump_container, InfrequentCache, RestoreConfig, RestoredContainer};
+use nilicon_criu::{dump_container, InfrequentCache, RestoreConfig, RestoredContainer, ShadowStore};
 use nilicon_drbd::DrbdPrimary;
 use nilicon_sim::kernel::Kernel;
 use nilicon_sim::mem::TrackingMode;
@@ -20,6 +20,9 @@ pub struct NiLiConEngine {
     /// Backup agent (public for Table V accounting and failover tests).
     pub agent: BackupAgent,
     drbd: DrbdPrimary,
+    /// Primary-side shadow of the page contents last shipped to the backup —
+    /// the base for the next epoch's XOR deltas (`delta_transfer`).
+    shadow: ShadowStore,
     prepared: bool,
     tracer: Tracer,
 }
@@ -42,6 +45,7 @@ impl NiLiConEngine {
             cache: InfrequentCache::new(),
             agent: BackupAgent::new(costs, opts.optimize_criu),
             drbd: DrbdPrimary::new(),
+            shadow: ShadowStore::new(),
             prepared: false,
             tracer: Tracer::disabled(),
         }
@@ -134,12 +138,28 @@ impl Checkpointer for NiLiConEngine {
         } else {
             None
         };
-        let img = dump_container(primary, container, &cfg, cache, epoch)?;
+        let mut img = dump_container(primary, container, &cfg, cache, epoch)?;
         let dirty_pages = img.stats.dirty_pages;
         let dump_phases = img.stats.phases;
+        let m_dumped = primary.meter.lifetime_total();
+
+        // Delta-encode the page payload for the wire (HyCoR extension):
+        // classify each dirty page against the shadow of the last shipped
+        // epoch. The encode CPU is part of the stop phase — it must finish
+        // before the container resumes, or the parasite's page contents
+        // could change under the encoder.
+        let delta_stats = if self.opts.delta_transfer {
+            let stats = img.encode_pages(&mut self.shadow);
+            primary
+                .meter
+                .charge(stats.pages() * primary.costs.delta_encode_per_page);
+            Some(stats)
+        } else {
+            None
+        };
+        let m_encoded = primary.meter.lifetime_total();
         let state_bytes = img.state_bytes();
         let chunks = img.transfer_chunks();
-        let m_dumped = primary.meter.lifetime_total();
 
         // DRBD: ship this epoch's disk writes + barrier (async — the wire
         // time of disk writes does not stop the container).
@@ -165,7 +185,19 @@ impl Checkpointer for NiLiConEngine {
                 infrequent: dump_phases.infrequent,
             });
         }
-        self.tracer.span(TraceEvent::LocalCopy, m_resumed - m_dumped);
+        if let Some(ds) = delta_stats {
+            self.tracer.span(
+                TraceEvent::DeltaEncode {
+                    zero_pages: ds.zero_pages,
+                    delta_pages: ds.delta_pages,
+                    full_pages: ds.full_pages,
+                    raw_bytes: ds.raw_bytes,
+                    encoded_bytes: ds.encoded_bytes,
+                },
+                m_encoded - m_dumped,
+            );
+        }
+        self.tracer.span(TraceEvent::LocalCopy, m_resumed - m_encoded);
         self.tracer.mark(TraceEvent::DrbdShip {
             writes: wire.writes,
             bytes: wire.bytes,
@@ -347,6 +379,66 @@ mod tests {
         );
         assert_eq!(o.ack_delay, 0, "no staging buffer: ack inside stop");
         assert_eq!(e.committed_epoch(), Some(1), "inline commit");
+    }
+
+    #[test]
+    fn delta_transfer_shrinks_wire_bytes_and_reconciles() {
+        use crate::trace::{TraceEvent, Tracer};
+        let run = |delta: bool| {
+            let mut p = Kernel::default();
+            let mut b = Kernel::default();
+            let spec = ContainerSpec::server("redis", 10, 6379);
+            let c = ContainerRuntime::create(&mut p, &spec).unwrap();
+            let mut opts = OptimizationConfig::nilicon();
+            opts.delta_transfer = delta;
+            let mut e = NiLiConEngine::new(opts, p.costs.clone());
+            let (tracer, ring) = Tracer::in_memory(256);
+            e.set_tracer(tracer.clone());
+            e.prepare(&mut p, &c).unwrap();
+            let mut total_bytes = 0u64;
+            for epoch in 1..=4 {
+                // Same single-byte edit each epoch: page 0 is sparse churn.
+                p.mem_write(c.init_pid(), MemLayout::heap(0), &[epoch as u8])
+                    .unwrap();
+                tracer.begin_epoch(epoch as u64, 0);
+                let o = e.checkpoint(&mut p, &mut b, &c, epoch as u64).unwrap();
+                tracer
+                    .reconcile(epoch as u64, o.stop_time, o.ack_delay)
+                    .unwrap();
+                e.commit(&mut b, epoch as u64).unwrap();
+                total_bytes += o.state_bytes;
+            }
+            (total_bytes, ring.snapshot())
+        };
+        let (full_bytes, full_recs) = run(false);
+        let (delta_bytes, delta_recs) = run(true);
+        assert!(
+            delta_bytes < full_bytes,
+            "delta wire bytes {delta_bytes} < full {full_bytes}"
+        );
+        assert!(
+            !full_recs
+                .iter()
+                .any(|r| matches!(r.kind, TraceEvent::DeltaEncode { .. })),
+            "no DeltaEncode span on the full-page path"
+        );
+        let spans: Vec<_> = delta_recs
+            .iter()
+            .filter(|r| matches!(r.kind, TraceEvent::DeltaEncode { .. }))
+            .collect();
+        assert_eq!(spans.len(), 4, "one DeltaEncode span per epoch");
+        // Epochs 2+ re-dirty the same page: it ships as a sparse XOR delta.
+        let TraceEvent::DeltaEncode {
+            delta_pages,
+            encoded_bytes,
+            raw_bytes,
+            ..
+        } = spans[2].kind
+        else {
+            unreachable!()
+        };
+        assert_eq!(delta_pages, 1);
+        assert!(encoded_bytes < raw_bytes / 10, "sparse epoch shrinks 10x+");
     }
 
     #[test]

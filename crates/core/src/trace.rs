@@ -19,16 +19,18 @@
 //! components. With a staging buffer (§V-D(2)):
 //!
 //! ```text
-//! Freeze + Dump + LocalCopy            == stop_time
-//! Transfer + BackupIngest + Ack        == ack_delay
+//! Freeze + Dump + [DeltaEncode] + LocalCopy   == stop_time
+//! Transfer + BackupIngest + Ack               == ack_delay
 //! ```
 //!
 //! Without one, every phase sits on the stop critical path:
 //!
 //! ```text
-//! Freeze + Dump + LocalCopy + Transfer + BackupIngest + Ack == stop_time
+//! Freeze + Dump + [DeltaEncode] + LocalCopy + Transfer + BackupIngest + Ack == stop_time
 //! ack_delay == 0
 //! ```
+//!
+//! (`DeltaEncode` appears only when `delta_transfer` is enabled.)
 //!
 //! [`Tracer::reconcile`] checks this once per epoch; the harness turns a
 //! mismatch into a hard [`SimError::Invalid`](nilicon_sim::SimError) — an
@@ -104,6 +106,22 @@ pub enum TraceEvent {
         /// Infrequently-modified state collection cost (ns, §V-B).
         infrequent: Nanos,
     },
+    /// Delta-encoding of the epoch's dirty pages against the last shipped
+    /// epoch (HyCoR extension; emitted only when `delta_transfer` is on).
+    /// Part of the stop phase — encoding happens before the container
+    /// resumes.
+    DeltaEncode {
+        /// Pages elided as all-zero (1 marker word each).
+        zero_pages: u64,
+        /// Pages shipped as sparse XOR deltas.
+        delta_pages: u64,
+        /// Pages shipped in full (first touch / dense churn).
+        full_pages: u64,
+        /// Bytes the full-page path would have shipped (pages × 4 KiB).
+        raw_bytes: u64,
+        /// Bytes actually put on the wire after encoding.
+        encoded_bytes: u64,
+    },
     /// DRBD ship + epoch barrier + container resume — the tail of the stop
     /// phase after the dump proper.
     LocalCopy,
@@ -177,6 +195,7 @@ impl TraceEvent {
             TraceEvent::Freeze => "Freeze",
             TraceEvent::Dump { .. } => "Dump",
             TraceEvent::DumpDetail { .. } => "DumpDetail",
+            TraceEvent::DeltaEncode { .. } => "DeltaEncode",
             TraceEvent::LocalCopy => "LocalCopy",
             TraceEvent::DrbdShip { .. } => "DrbdShip",
             TraceEvent::Transfer { .. } => "Transfer",
@@ -194,7 +213,10 @@ impl TraceEvent {
     pub fn is_stop_phase(&self) -> bool {
         matches!(
             self,
-            TraceEvent::Freeze | TraceEvent::Dump { .. } | TraceEvent::LocalCopy
+            TraceEvent::Freeze
+                | TraceEvent::Dump { .. }
+                | TraceEvent::DeltaEncode { .. }
+                | TraceEvent::LocalCopy
         )
     }
 
@@ -254,6 +276,22 @@ impl serde::ser::Serialize for TraceEvent {
                     ("sockets".into(), u(*sockets)),
                     ("fs_cache".into(), u(*fs_cache)),
                     ("infrequent".into(), u(*infrequent)),
+                ],
+            ),
+            TraceEvent::DeltaEncode {
+                zero_pages,
+                delta_pages,
+                full_pages,
+                raw_bytes,
+                encoded_bytes,
+            } => tagged(
+                "DeltaEncode",
+                vec![
+                    ("zero_pages".into(), u(*zero_pages)),
+                    ("delta_pages".into(), u(*delta_pages)),
+                    ("full_pages".into(), u(*full_pages)),
+                    ("raw_bytes".into(), u(*raw_bytes)),
+                    ("encoded_bytes".into(), u(*encoded_bytes)),
                 ],
             ),
             TraceEvent::DrbdShip { writes, bytes } => tagged(
@@ -338,6 +376,13 @@ impl serde::de::Deserialize for TraceEvent {
                 sockets: f(fields, "sockets")?,
                 fs_cache: f(fields, "fs_cache")?,
                 infrequent: f(fields, "infrequent")?,
+            }),
+            "DeltaEncode" => Ok(TraceEvent::DeltaEncode {
+                zero_pages: f(fields, "zero_pages")?,
+                delta_pages: f(fields, "delta_pages")?,
+                full_pages: f(fields, "full_pages")?,
+                raw_bytes: f(fields, "raw_bytes")?,
+                encoded_bytes: f(fields, "encoded_bytes")?,
             }),
             "DrbdShip" => Ok(TraceEvent::DrbdShip {
                 writes: f(fields, "writes")?,
@@ -786,6 +831,13 @@ mod tests {
                 sockets: 3,
                 fs_cache: 4,
                 infrequent: 5,
+            },
+            TraceEvent::DeltaEncode {
+                zero_pages: 4,
+                delta_pages: 80,
+                full_pages: 15,
+                raw_bytes: 405_504,
+                encoded_bytes: 71_300,
             },
             TraceEvent::LocalCopy,
             TraceEvent::DrbdShip {

@@ -1,5 +1,7 @@
 //! Checkpoint images: the in-memory equivalent of CRIU's image files.
 
+use crate::delta::{DeltaStats, PageEncoding, ShadowStore};
+use crate::pagestore::PageKey;
 use nilicon_sim::cgroup::Cgroup;
 use nilicon_sim::fs::{FsCacheCheckpoint, Inode, Mount};
 use nilicon_sim::ids::{AsId, Fd, Ino, Pid};
@@ -72,6 +74,9 @@ pub struct DumpStats {
     pub fs_cache_pages: u64,
     /// Per-stage cost breakdown (feeds the `DumpDetail` trace event).
     pub phases: DumpPhases,
+    /// Delta-encoding classification and byte accounting, present when
+    /// [`CheckpointImage::encode_pages`] ran (feeds the `DeltaEncode` span).
+    pub delta: Option<DeltaStats>,
 }
 
 /// A complete (possibly incremental) checkpoint of a container.
@@ -90,6 +95,15 @@ pub struct CheckpointImage {
     /// Incremental page dump: `(pid, vpn, contents)`. Only pages dirtied
     /// since the previous checkpoint appear here.
     pub pages: Vec<(Pid, u64, Box<[u8; PAGE_SIZE]>)>,
+    /// Delta-encoded page dump: `(pid, vpn, encoding)`. Populated by
+    /// [`CheckpointImage::encode_pages`] (which drains [`pages`] into it) on
+    /// the wire path when delta transfer is enabled; the backup reconstructs
+    /// full pages via `PageStore::apply_delta`. Transient wire form — never
+    /// serialized by `imgfile` (a materialized failover image always carries
+    /// full pages).
+    ///
+    /// [`pages`]: CheckpointImage::pages
+    pub page_deltas: Vec<(Pid, u64, PageEncoding)>,
     /// Listening ports.
     pub listeners: Vec<u16>,
     /// Established-socket repair dumps.
@@ -119,10 +133,15 @@ impl CheckpointImage {
     /// per record.
     pub fn state_bytes(&self) -> u64 {
         let page_bytes = self.pages.len() as u64 * PAGE_SIZE as u64;
+        let delta_bytes: u64 = self
+            .page_deltas
+            .iter()
+            .map(|(_, _, e)| e.encoded_bytes())
+            .sum();
         let sock_bytes: u64 = self.sockets.iter().map(RepairState::state_bytes).sum();
         let fs_bytes = self.fs_pages.bytes();
         let meta = self.metadata_records() * 96;
-        page_bytes + sock_bytes + fs_bytes + meta
+        page_bytes + delta_bytes + sock_bytes + fs_bytes + meta
     }
 
     /// Number of metadata records (processes, threads, fds, VMAs, ns,
@@ -149,9 +168,27 @@ impl CheckpointImage {
     /// arrive as their own small chunks; metadata arrives in one chunk per
     /// category.
     pub fn transfer_chunks(&self) -> u64 {
-        let page_chunks = (self.pages.len() as u64).div_ceil(64).max(1);
+        let n_pages = (self.pages.len() + self.page_deltas.len()) as u64;
+        let page_chunks = n_pages.div_ceil(64).max(1);
         let sock_chunks = self.sockets.len() as u64 * 2;
         page_chunks + sock_chunks + 8
+    }
+
+    /// Delta-encode the dirty-page payload for the wire (HyCoR-style):
+    /// drain [`CheckpointImage::pages`] into
+    /// [`CheckpointImage::page_deltas`], classifying each page against
+    /// `shadow` (the contents as of the last shipped epoch). After this,
+    /// [`CheckpointImage::state_bytes`] counts *encoded* bytes for the page
+    /// payload. Returns the per-epoch classification stats (also recorded in
+    /// `stats.delta`).
+    pub fn encode_pages(&mut self, shadow: &mut ShadowStore) -> DeltaStats {
+        let mut stats = DeltaStats::default();
+        for (pid, vpn, data) in self.pages.drain(..) {
+            let enc = shadow.encode(PageKey { pid, vpn }, &data, &mut stats);
+            self.page_deltas.push((pid, vpn, enc));
+        }
+        self.stats.delta = Some(stats);
+        stats
     }
 }
 
@@ -201,6 +238,38 @@ mod tests {
             many.transfer_chunks() > 20 * few.transfer_chunks(),
             "socket-heavy state arrives in many more chunks (Table V, Node)"
         );
+    }
+
+    #[test]
+    fn encode_pages_shrinks_wire_bytes_for_sparse_epochs() {
+        let mut shadow = ShadowStore::new();
+        // Epoch 1: first touch — everything ships full (plus zero elision).
+        let mut img1 = CheckpointImage::default();
+        let mut data = Box::new([0u8; PAGE_SIZE]);
+        data[0] = 1;
+        img1.pages.push((Pid(1), 0x10, data.clone()));
+        img1.pages.push((Pid(1), 0x11, Box::new([0u8; PAGE_SIZE])));
+        let raw1 = img1.state_bytes();
+        let stats1 = img1.encode_pages(&mut shadow);
+        assert!(img1.pages.is_empty(), "pages drained into deltas");
+        assert_eq!(img1.page_deltas.len(), 2);
+        assert_eq!((stats1.full_pages, stats1.zero_pages), (1, 1));
+        assert!(img1.state_bytes() < raw1, "zero elision already pays");
+
+        // Epoch 2: one word changed — ships as a tiny delta.
+        let mut img2 = CheckpointImage::default();
+        data[0] = 2;
+        img2.pages.push((Pid(1), 0x10, data));
+        let raw2 = img2.state_bytes();
+        let stats2 = img2.encode_pages(&mut shadow);
+        assert_eq!(stats2.delta_pages, 1);
+        assert!(
+            img2.state_bytes() < raw2 / 10,
+            "sparse epoch: encoded ({}) ≪ raw ({raw2})",
+            img2.state_bytes()
+        );
+        assert_eq!(img2.stats.delta, Some(stats2));
+        assert_eq!(img2.transfer_chunks(), 1 + 8, "deltas still count as pages");
     }
 
     #[test]

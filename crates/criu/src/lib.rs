@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod delta;
 pub mod dump;
 pub mod image;
 pub mod imgfile;
@@ -51,6 +52,7 @@ pub mod pagestore;
 pub mod restore;
 
 pub use cache::InfrequentCache;
+pub use delta::{DeltaStats, PageEncoding, ShadowStore};
 pub use dump::{dump_container, full_dump, DirtySource, DumpConfig, FsCacheMode};
 pub use image::{CheckpointImage, DumpPhases, DumpStats, ProcessImage};
 pub use imgfile::{decode as decode_image, encode as encode_image};

@@ -15,9 +15,16 @@
 //! replication runtime charges virtual time from the probe counts they
 //! report.
 
+use crate::delta::PageEncoding;
 use nilicon_sim::ids::Pid;
 use nilicon_sim::PAGE_SIZE;
 use std::collections::HashMap;
+
+/// Largest virtual page number either store can address: the radix tree
+/// walks 4 levels × 9 bits, exactly like the x86-64 page-table walk over
+/// 4 KiB pages (48-bit virtual addresses → 36-bit vpns). Keys above this
+/// would silently alias in the tree, so both stores reject them.
+pub const MAX_VPN: u64 = (1 << 36) - 1;
 
 /// Key of a stored page: (process, virtual page number).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -54,6 +61,24 @@ pub trait PageStore {
 
     /// Number of incremental checkpoints seen.
     fn checkpoints(&self) -> u64;
+
+    /// Apply a delta-encoded page against the store's current copy and
+    /// commit the reconstructed page. Returns probe operations, like
+    /// [`PageStore::insert`]; a [`PageEncoding::Delta`] costs one extra walk
+    /// to fetch the base page first.
+    fn apply_delta(&mut self, key: PageKey, enc: &PageEncoding) -> u64 {
+        let base = match enc {
+            PageEncoding::Delta(_) => self.get(key).map(|p| Box::new(*p)),
+            _ => None,
+        };
+        let page = enc.apply(base.as_deref());
+        let insert_probes = self.insert(key, page);
+        if matches!(enc, PageEncoding::Delta(_)) {
+            insert_probes * 2
+        } else {
+            insert_probes
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -189,6 +214,11 @@ impl RadixTreeStore {
 
     #[inline]
     fn split(vpn: u64) -> (usize, usize, usize, usize) {
+        debug_assert!(
+            vpn <= MAX_VPN,
+            "vpn {vpn:#x} exceeds the 36-bit radix address space; \
+             bits above 36 would silently alias"
+        );
         let l1 = (vpn & 0x1ff) as usize;
         let l2 = ((vpn >> 9) & 0x1ff) as usize;
         let l3 = ((vpn >> 18) & 0x1ff) as usize;
@@ -337,11 +367,44 @@ mod tests {
 
     #[test]
     fn radix_split_roundtrip() {
-        for vpn in [0u64, 1, 0x1ff, 0x200, 0x3_ffff, 0x7_fff_fff, (1 << 36) - 1] {
+        for vpn in [0u64, 1, 0x1ff, 0x200, 0x3_ffff, 0x7_fff_fff, MAX_VPN] {
             let (i4, i3, i2, i1) = RadixTreeStore::split(vpn);
             let back = ((i4 as u64) << 27) | ((i3 as u64) << 18) | ((i2 as u64) << 9) | i1 as u64;
-            assert_eq!(back, vpn & ((1 << 36) - 1));
+            assert_eq!(back, vpn, "in-range vpns round-trip exactly");
         }
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "exceeds the 36-bit"))]
+    fn radix_split_rejects_out_of_range_vpn() {
+        // Two keys 2^36 apart used to alias silently; now the debug build
+        // rejects the out-of-range key outright.
+        let (i4, i3, i2, i1) = RadixTreeStore::split(MAX_VPN + 1);
+        // Release builds keep the historical masking behavior.
+        assert_eq!((i4, i3, i2, i1), RadixTreeStore::split(0));
+    }
+
+    #[test]
+    fn apply_delta_matches_direct_insert() {
+        use crate::delta::{DeltaStats, ShadowStore};
+        let mut shadow = ShadowStore::new();
+        let mut stats = DeltaStats::default();
+        let mut direct = RadixTreeStore::new();
+        let mut via_delta = RadixTreeStore::new();
+        let k = key(1, 0x42);
+        let mut v1 = [0u8; PAGE_SIZE];
+        v1[10] = 7;
+        let mut v2 = v1;
+        v2[10] = 9;
+        v2[4000] = 1;
+        for v in [v1, v2, [0u8; PAGE_SIZE]] {
+            let enc = shadow.encode(k, &v, &mut stats);
+            direct.insert(k, Box::new(v));
+            let probes = via_delta.apply_delta(k, &enc);
+            assert!(probes >= 4);
+            assert_eq!(via_delta.get(k).unwrap(), direct.get(k).unwrap());
+        }
+        assert_eq!(stats.pages(), 3);
     }
 
     #[test]

@@ -182,6 +182,13 @@ pub struct CostModel {
     /// incremental-image store (per previous checkpoint in the chain,
     /// per page; §V-A).
     pub list_probe_per_ckpt: Nanos,
+    /// Primary CPU cost to delta-encode one dirty page against the shadow
+    /// copy of the last shipped epoch (word-level XOR scan of 4 KiB;
+    /// HyCoR-style wire reduction). Charged inside the stop phase.
+    pub delta_encode_per_page: Nanos,
+    /// Backup CPU cost to apply one delta-encoded page against its stored
+    /// base at commit time (decode side of `delta_encode_per_page`).
+    pub delta_apply_per_page: Nanos,
 
     // ------------------------------------------------------------------
     // Restore / recovery
@@ -289,6 +296,8 @@ impl Default for CostModel {
             backup_recv_per_msg: us(20),
             radix_insert: 450,
             list_probe_per_ckpt: 4_000, // fs directory probe (images live in files)
+            delta_encode_per_page: 650, // one 4 KiB XOR scan ≈ ⅓ of a page copy
+            delta_apply_per_page: 500,
 
             restore_base: ms(190),
             restore_per_process: ms(9),

@@ -131,6 +131,19 @@ impl CostMeter {
     pub fn lifetime_total(&self) -> Nanos {
         self.total.get()
     }
+
+    /// Refund `ns` of previously charged cost (saturating at zero).
+    ///
+    /// Used when a driver models *parallel* execution of work the kernel
+    /// metered serially: it charges each shard's cost as usual, then refunds
+    /// everything except the critical (max) shard. The refund applies to both
+    /// the pending accumulator and the lifetime total so telescoped samples
+    /// of [`CostMeter::lifetime_total`] stay consistent.
+    #[inline]
+    pub fn refund(&self, ns: Nanos) {
+        self.accum.set(self.accum.get().saturating_sub(ns));
+        self.total.set(self.total.get().saturating_sub(ns));
+    }
 }
 
 /// A timestamped event in the miniature discrete-event queue.
@@ -246,6 +259,18 @@ mod tests {
         assert_eq!(m.take(), 0);
         m.charge(5);
         assert_eq!(m.lifetime_total(), 35);
+    }
+
+    #[test]
+    fn meter_refund_reduces_both_counters() {
+        let m = CostMeter::new();
+        m.charge(100);
+        m.refund(30);
+        assert_eq!(m.peek(), 70);
+        assert_eq!(m.lifetime_total(), 70);
+        m.refund(1_000); // saturates, never underflows
+        assert_eq!(m.peek(), 0);
+        assert_eq!(m.lifetime_total(), 0);
     }
 
     #[test]

@@ -1,0 +1,124 @@
+//! End-to-end equivalence of the delta-encoded transfer path.
+//!
+//! The wire format is an optimization, not a semantic: with
+//! `delta_transfer` enabled the backup's committed image must be
+//! byte-identical to the full-page path after every epoch, and the state a
+//! failover restores must match bit-for-bit — including an uncommitted
+//! tail epoch that both paths have to discard.
+
+use nilicon::{Checkpointer, NiLiConEngine, OptimizationConfig};
+use nilicon_container::{Container, ContainerRuntime, ContainerSpec, MemLayout};
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::PAGE_SIZE;
+
+/// Drive `epochs` checkpoint/commit cycles of a fixed write script, fail
+/// over, and return (total wire bytes, restored memory snapshot).
+///
+/// The script exercises every page class each run: a hot page taking
+/// single-byte edits (sparse deltas), fresh pages (full), a page rewritten
+/// densely, and a page scrubbed back to zeros (zero elision).
+fn run_script(delta: bool, epochs: u64, script: &dyn Fn(&mut Kernel, &Container, u64)) -> (u64, Vec<u8>) {
+    let mut p = Kernel::default();
+    let mut b = Kernel::default();
+    let mut spec = ContainerSpec::server("redis", 10, 6379);
+    spec.processes = 3;
+    let c = ContainerRuntime::create(&mut p, &spec).unwrap();
+    let mut opts = OptimizationConfig::nilicon();
+    opts.delta_transfer = delta;
+    let mut e = NiLiConEngine::new(opts, p.costs.clone());
+    e.prepare(&mut p, &c).unwrap();
+
+    let mut wire_bytes = 0u64;
+    for epoch in 1..=epochs {
+        script(&mut p, &c, epoch);
+        let o = e.checkpoint(&mut p, &mut b, &c, epoch).unwrap();
+        wire_bytes += o.state_bytes;
+        e.commit(&mut b, epoch).unwrap();
+    }
+    // One more checkpoint that never gets acked: the failover must discard
+    // it identically on both paths.
+    script(&mut p, &c, epochs + 1);
+    e.checkpoint(&mut p, &mut b, &c, epochs + 1).unwrap();
+
+    let (restored, _report) = e.failover(&mut b).unwrap();
+    restored.finish(&mut b).unwrap();
+
+    // Snapshot every heap page the script can have touched, across all
+    // worker pids (the keep-alive process maps a single page and is never
+    // written by the scripts).
+    let mut snapshot = Vec::new();
+    for pid in restored.container.workers.clone() {
+        for page in 0..64u64 {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            if b.mem_read(pid, MemLayout::heap_page(page), &mut buf).is_ok() {
+                snapshot.extend_from_slice(&buf);
+            }
+        }
+    }
+    (wire_bytes, snapshot)
+}
+
+#[test]
+fn delta_committed_state_is_byte_identical_across_ten_epochs_and_failover() {
+    let script = |k: &mut Kernel, c: &Container, epoch: u64| {
+        let pid = c.init_pid();
+        // Sparse churn: one counter word on a hot page, every epoch.
+        k.mem_write(pid, MemLayout::heap(8), &epoch.to_le_bytes()).unwrap();
+        // Growth: one brand-new page per epoch (ships full once).
+        k.mem_write(pid, MemLayout::heap_page(10 + epoch), &[epoch as u8; 128])
+            .unwrap();
+        // Dense churn: rewrite a whole buffer page.
+        k.mem_write(pid, MemLayout::heap_page(2), &vec![epoch as u8 | 1; PAGE_SIZE])
+            .unwrap();
+        // Scrub: page 3 alternates between data and all-zeros.
+        let fill = if epoch.is_multiple_of(2) { 0u8 } else { 0xAB };
+        k.mem_write(pid, MemLayout::heap_page(3), &vec![fill; PAGE_SIZE])
+            .unwrap();
+    };
+
+    let (full_bytes, full_mem) = run_script(false, 10, &script);
+    let (delta_bytes, delta_mem) = run_script(true, 10, &script);
+
+    assert!(!full_mem.is_empty(), "snapshot captured restored memory");
+    assert_eq!(
+        full_mem, delta_mem,
+        "restored memory must be bit-for-bit identical across wire formats"
+    );
+    assert!(
+        delta_bytes < full_bytes,
+        "delta path ships fewer wire bytes: {delta_bytes} vs {full_bytes}"
+    );
+}
+
+#[test]
+fn delta_equivalence_holds_under_randomized_multi_pid_writes() {
+    // A deterministic LCG scatters writes of varied sizes over all pids and
+    // the first 32 heap pages — no page-class structure, just noise.
+    let script = |k: &mut Kernel, c: &Container, epoch: u64| {
+        let mut state = epoch.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let pids = &c.workers;
+        for _ in 0..24 {
+            let pid = pids[next() as usize % pids.len()];
+            let page = next() % 32;
+            let off = next() % (PAGE_SIZE as u64 - 64);
+            let len = 1 + next() as usize % 64;
+            let byte = next() as u8;
+            k.mem_write(pid, MemLayout::heap_page(page) + off, &vec![byte; len])
+                .unwrap();
+        }
+    };
+
+    let (full_bytes, full_mem) = run_script(false, 12, &script);
+    let (delta_bytes, delta_mem) = run_script(true, 12, &script);
+
+    assert!(!full_mem.is_empty());
+    assert_eq!(full_mem, delta_mem, "random write pattern diverged");
+    assert!(
+        delta_bytes < full_bytes,
+        "re-dirtied pages compress: {delta_bytes} vs {full_bytes}"
+    );
+}

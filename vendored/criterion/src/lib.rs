@@ -5,8 +5,24 @@
 //! fixed number of times and wall-clock timed with `std::time::Instant` —
 //! enough for `cargo bench -- --test` smoke coverage and for eyeballing
 //! gross regressions, with none of real criterion's statistics.
+//!
+//! Beyond printing per-bench lines, the shim records every sample and, at
+//! the end of `criterion_main`, writes `BENCH_<binary-stem>.json` into the
+//! working directory — `[{"name", "mean_ns", "p50_ns", "p99_ns"}, ...]` —
+//! so the perf trajectory is machine-readable across PRs.
 
+use std::sync::Mutex;
 use std::time::Instant;
+
+/// One finished benchmark's summary statistics.
+struct BenchResult {
+    name: String,
+    mean_ns: u128,
+    p50_ns: u128,
+    p99_ns: u128,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
 
 /// Benchmark registry and runner.
 pub struct Criterion {
@@ -120,7 +136,7 @@ pub enum BatchSize {
 /// Passed to benchmark closures; `iter`/`iter_batched` time the routine.
 pub struct Bencher {
     iters: u32,
-    total_nanos: u128,
+    samples: Vec<u128>,
 }
 
 impl Bencher {
@@ -129,7 +145,7 @@ impl Bencher {
         for _ in 0..self.iters {
             let t = Instant::now();
             let out = routine();
-            self.total_nanos += t.elapsed().as_nanos();
+            self.samples.push(t.elapsed().as_nanos());
             drop(out);
         }
     }
@@ -145,7 +161,7 @@ impl Bencher {
             let input = setup();
             let t = Instant::now();
             let out = routine(input);
-            self.total_nanos += t.elapsed().as_nanos();
+            self.samples.push(t.elapsed().as_nanos());
             drop(out);
         }
     }
@@ -153,12 +169,91 @@ impl Bencher {
 
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     let mut b = Bencher {
-        iters: 3,
-        total_nanos: 0,
+        iters: 5,
+        samples: Vec::new(),
     };
     f(&mut b);
-    let per_iter = b.total_nanos / u128::from(b.iters.max(1));
-    println!("bench {name}: ~{per_iter} ns/iter (offline shim, {} iters)", b.iters);
+    if b.samples.is_empty() {
+        b.samples.push(0);
+    }
+    let mut sorted = b.samples.clone();
+    sorted.sort_unstable();
+    let mean = b.samples.iter().sum::<u128>() / b.samples.len() as u128;
+    let p50 = sorted[sorted.len() / 2];
+    let p99 = sorted[(sorted.len() * 99 / 100).min(sorted.len() - 1)];
+    println!(
+        "bench {name}: ~{mean} ns/iter (offline shim, {} samples, p50 {p50}, p99 {p99})",
+        sorted.len()
+    );
+    RESULTS.lock().unwrap().push(BenchResult {
+        name: name.to_string(),
+        mean_ns: mean,
+        p50_ns: p50,
+        p99_ns: p99,
+    });
+}
+
+/// Stem of the running bench binary, with cargo's trailing `-<hash>`
+/// stripped: `target/release/deps/pagestore-1a2b3c` → `pagestore`.
+fn bench_stem() -> String {
+    let argv0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&argv0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, hash))
+            if !base.is_empty() && hash.len() == 16 && hash.bytes().all(|b| b.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
+/// Nearest ancestor of the working directory holding a `Cargo.lock` (the
+/// workspace root), so every bench binary drops its JSON in one place no
+/// matter which package cargo ran it from. Falls back to the cwd itself.
+fn workspace_root() -> std::path::PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    let mut dir = cwd.as_path();
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.to_path_buf();
+        }
+        match dir.parent() {
+            Some(p) => dir = p,
+            None => return cwd,
+        }
+    }
+}
+
+/// Write the collected results as `BENCH_<stem>.json` in the workspace
+/// root (one array of `{name, mean_ns, p50_ns, p99_ns}` objects).
+/// Called by `criterion_main!` after all groups ran; a no-op with no results.
+pub fn write_results() {
+    let results = RESULTS.lock().unwrap();
+    if results.is_empty() {
+        return;
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let name = r.name.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "  {{\"name\": \"{name}\", \"mean_ns\": {}, \"p50_ns\": {}, \"p99_ns\": {}}}{}\n",
+            r.mean_ns,
+            r.p50_ns,
+            r.p99_ns,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    let path = workspace_root().join(format!("BENCH_{}.json", bench_stem()));
+    match std::fs::write(&path, out) {
+        Ok(()) => println!("bench results written to {}", path.display()),
+        Err(e) => eprintln!("could not write {}: {e}", path.display()),
+    }
 }
 
 /// Group benchmark functions under one registration symbol.
@@ -179,6 +274,7 @@ macro_rules! criterion_main {
             // `cargo bench -- --test` passes `--test`; all args are ignored.
             let mut c = $crate::Criterion::default();
             $($group(&mut c);)+
+            $crate::write_results();
         }
     };
 }
