@@ -1,0 +1,106 @@
+//! Wall-clock microbenchmarks of the copy-on-write checkpoint hot paths:
+//! write-protecting a dirty set at pause, the eager copy-before-write fault
+//! taken when the container touches a protected page, and the background
+//! copier's chunked drain. These are the three operations the COW mode puts
+//! on (or near) the critical path in place of the stop-phase memcpy; results
+//! land in `BENCH_cow.json` via the offline criterion shim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nilicon_container::{ContainerRuntime, ContainerSpec, MemLayout};
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::mem::TrackingMode;
+use nilicon_sim::PAGE_SIZE;
+use std::hint::black_box;
+
+fn container_kernel(heap_pages: u64) -> (Kernel, nilicon_container::Container) {
+    let mut k = Kernel::default();
+    let mut spec = ContainerSpec::server("cow", 10, 80);
+    spec.heap_pages = heap_pages;
+    let c = ContainerRuntime::create(&mut k, &spec).unwrap();
+    (k, c)
+}
+
+/// Dirty `pages` heap pages and return their vpns (what the dump would
+/// collect from the pagemap).
+fn dirty_vpns(k: &mut Kernel, cont: &nilicon_container::Container, pages: u64) -> Vec<u64> {
+    let pid = cont.init_pid();
+    for p in 0..pages {
+        k.mem_write(pid, MemLayout::heap_page(p), &[p as u8 | 1]).unwrap();
+    }
+    (0..pages)
+        .map(|p| MemLayout::heap_page(p) / PAGE_SIZE as u64)
+        .collect()
+}
+
+fn bench_protect(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cow_protect");
+    for &pages in &[300u64, 3000] {
+        group.bench_function(format!("protect_{pages}_pages"), |b| {
+            let (mut k, cont) = container_kernel(pages + 64);
+            let pid = cont.init_pid();
+            k.mm_mut(pid).unwrap().set_tracking(TrackingMode::SoftDirty);
+            let vpns = dirty_vpns(&mut k, &cont, pages);
+            b.iter(|| {
+                k.cow_protect_pages(pid, &vpns).unwrap();
+                // Drain without metering noise so the next iteration starts
+                // from an empty protected set.
+                while !k.cow_drain_pages(pid, 512).unwrap().is_empty() {}
+                black_box(k.meter.take())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_fault_copy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cow_fault");
+    group.bench_function("fault_copy_64_protected_writes", |b| {
+        let (mut k, cont) = container_kernel(256);
+        let pid = cont.init_pid();
+        k.mm_mut(pid).unwrap().set_tracking(TrackingMode::SoftDirty);
+        b.iter(|| {
+            let vpns = dirty_vpns(&mut k, &cont, 64);
+            k.cow_protect_pages(pid, &vpns).unwrap();
+            // Each write hits a protected page: eager copy-before-write.
+            for p in 0..64u64 {
+                k.mem_write(pid, MemLayout::heap_page(p), &[0xEE]).unwrap();
+            }
+            let faults = k.take_cow_faults(pid).unwrap();
+            // Clear the staged snapshots for the next round.
+            while !k.cow_drain_pages(pid, 512).unwrap().is_empty() {}
+            k.meter.take();
+            black_box(faults)
+        });
+    });
+    group.finish();
+}
+
+fn bench_drain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cow_drain");
+    group.sample_size(30);
+    for &pages in &[300u64, 3000] {
+        group.bench_function(format!("drain_{pages}_pages_chunks_of_64"), |b| {
+            let (mut k, cont) = container_kernel(pages + 64);
+            let pid = cont.init_pid();
+            k.mm_mut(pid).unwrap().set_tracking(TrackingMode::SoftDirty);
+            let vpns = dirty_vpns(&mut k, &cont, pages);
+            b.iter(|| {
+                k.cow_protect_pages(pid, &vpns).unwrap();
+                let mut drained = 0usize;
+                loop {
+                    let chunk = k.cow_drain_pages(pid, 64).unwrap();
+                    if chunk.is_empty() {
+                        break;
+                    }
+                    drained += chunk.len();
+                }
+                k.meter.take();
+                black_box(drained)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_protect, bench_fault_copy, bench_drain);
+criterion_main!(benches);

@@ -15,31 +15,38 @@ fn bench_epoch_cycle(c: &mut Criterion) {
     group.sample_size(30);
 
     for &dirty in &[50u64, 300, 3000] {
-        group.bench_function(format!("checkpoint_commit_{dirty}_dirty"), |b| {
-            let mut primary = Kernel::default();
-            let mut backup = Kernel::default();
-            let mut spec = ContainerSpec::server("epoch", 10, 80);
-            spec.heap_pages = dirty + 64;
-            let cont = ContainerRuntime::create(&mut primary, &spec).unwrap();
-            let mut engine =
-                NiLiConEngine::new(OptimizationConfig::nilicon(), CostModel::default());
-            engine.prepare(&mut primary, &cont).unwrap();
-            let mut epoch = 0u64;
-            b.iter(|| {
-                epoch += 1;
-                let pid = cont.init_pid();
-                for p in 0..dirty {
-                    primary
-                        .mem_write(pid, MemLayout::heap_page(p), &[epoch as u8])
+        // Same cycle under both copy modes: eager (paper-faithful) and
+        // copy-on-write, where the dirty-page copy is deferred past thaw and
+        // streamed to the backup in chunks.
+        for cow in [false, true] {
+            let suffix = if cow { "_cow" } else { "" };
+            group.bench_function(format!("checkpoint_commit_{dirty}_dirty{suffix}"), |b| {
+                let mut primary = Kernel::default();
+                let mut backup = Kernel::default();
+                let mut spec = ContainerSpec::server("epoch", 10, 80);
+                spec.heap_pages = dirty + 64;
+                let cont = ContainerRuntime::create(&mut primary, &spec).unwrap();
+                let mut opts = OptimizationConfig::nilicon();
+                opts.cow_checkpoint = cow;
+                let mut engine = NiLiConEngine::new(opts, CostModel::default());
+                engine.prepare(&mut primary, &cont).unwrap();
+                let mut epoch = 0u64;
+                b.iter(|| {
+                    epoch += 1;
+                    let pid = cont.init_pid();
+                    for p in 0..dirty {
+                        primary
+                            .mem_write(pid, MemLayout::heap_page(p), &[epoch as u8])
+                            .unwrap();
+                    }
+                    let out = engine
+                        .checkpoint(&mut primary, &mut backup, &cont, epoch)
                         .unwrap();
-                }
-                let out = engine
-                    .checkpoint(&mut primary, &mut backup, &cont, epoch)
-                    .unwrap();
-                engine.commit(&mut backup, epoch).unwrap();
-                black_box(out.stop_time)
+                    engine.commit(&mut backup, epoch).unwrap();
+                    black_box(out.stop_time)
+                });
             });
-        });
+        }
     }
     group.finish();
 }

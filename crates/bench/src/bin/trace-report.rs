@@ -25,6 +25,7 @@ const PHASES: &[&str] = &[
     "Dump",
     "DeltaEncode",
     "LocalCopy",
+    "CowCopy",
     "Transfer",
     "BackupIngest",
     "Ack",
@@ -51,6 +52,9 @@ struct Section {
     delta_zero_pages: u64,
     delta_delta_pages: u64,
     delta_full_pages: u64,
+    cow_pages: u64,
+    cow_bytes: u64,
+    cow_faults: u64,
     heartbeat_misses: u64,
     failovers: Vec<TraceEvent>,
 }
@@ -74,6 +78,7 @@ impl Section {
                 | TraceEvent::Dump { .. }
                 | TraceEvent::DeltaEncode { .. }
                 | TraceEvent::LocalCopy
+                | TraceEvent::CowCopy { .. }
                 | TraceEvent::Transfer { .. }
                 | TraceEvent::BackupIngest { .. }
                 | TraceEvent::Ack
@@ -95,6 +100,11 @@ impl Section {
                 self.delta_raw_bytes += raw_bytes;
                 self.delta_encoded_bytes += encoded_bytes;
             }
+            TraceEvent::CowCopy { pages, bytes } => {
+                self.cow_pages += pages;
+                self.cow_bytes += bytes;
+            }
+            TraceEvent::CowFault { faults } => self.cow_faults += faults,
             TraceEvent::Transfer { bytes } => self.transfer_bytes += bytes,
             TraceEvent::DrbdShip { writes, bytes } => {
                 self.drbd_writes += writes;
@@ -200,6 +210,13 @@ impl Section {
                 self.delta_zero_pages,
                 self.delta_delta_pages,
                 self.delta_full_pages,
+            );
+        }
+        if self.cow_pages > 0 {
+            println!(
+                "cow checkpoint: {} pages ({} B) copied in the background, \
+                 {} write faults (eager copy-before-write)",
+                self.cow_pages, self.cow_bytes, self.cow_faults,
             );
         }
         if self.heartbeat_misses > 0 {

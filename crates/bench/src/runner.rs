@@ -23,10 +23,13 @@ pub fn nilicon_mode(opts: OptimizationConfig) -> RunMode {
 
 /// Overlay EXTENSION flags onto a paper-faithful optimization row:
 /// `--delta` enables delta-encoded checkpoint transfer, `--dump-workers N`
-/// shards the per-process dump loop. With neither flag present the row is
-/// returned untouched, so every table binary stays paper-faithful by
-/// default but can demo the extensions (visible in `trace-report`'s
-/// DeltaEncode phase and encoded-vs-raw byte line).
+/// shards the per-process dump loop, `--cow` switches to copy-on-write
+/// checkpointing (dirty pages are write-protected at pause and copied out in
+/// the background — the stop phase shrinks, the copy moves to the ack path).
+/// With no flags present the row is returned untouched, so every table
+/// binary stays paper-faithful by default but can demo the extensions
+/// (visible in `trace-report`'s DeltaEncode/CowCopy phases and summary
+/// lines).
 pub fn apply_cli_extensions(
     mut opts: OptimizationConfig,
     mut args: impl Iterator<Item = String>,
@@ -34,6 +37,7 @@ pub fn apply_cli_extensions(
     while let Some(a) = args.next() {
         match a.as_str() {
             "--delta" => opts.delta_transfer = true,
+            "--cow" => opts.cow_checkpoint = true,
             "--dump-workers" => {
                 opts.dump_workers = args
                     .next()
@@ -297,9 +301,10 @@ mod tests {
 
         let extended = apply_cli_extensions(
             base,
-            args(&["table1", "--delta", "--dump-workers", "4"]).into_iter(),
+            args(&["table1", "--delta", "--dump-workers", "4", "--cow"]).into_iter(),
         );
         assert!(extended.delta_transfer);
         assert_eq!(extended.dump_workers, 4);
+        assert!(extended.cow_checkpoint);
     }
 }

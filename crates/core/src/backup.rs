@@ -8,7 +8,10 @@
 //! image, and DRBD-buffered disk writes. Only on failover is this state
 //! materialized into CRIU-format images and restored.
 
-use nilicon_criu::{CheckpointImage, LinkedListStore, PageKey, PageStore, RadixTreeStore};
+use nilicon_criu::{
+    CheckpointImage, LinkedListStore, PageEncoding, PageKey, PageStore, RadixTreeStore,
+};
+use nilicon_sim::ids::Pid;
 use nilicon_drbd::{DrbdBackup, DrbdMsg};
 use nilicon_sim::block::BlockDevice;
 use nilicon_sim::costs::CostModel;
@@ -21,11 +24,25 @@ use std::collections::{BTreeMap, HashMap};
 /// Merged committed file-cache page: contents + writeback-dirty flag.
 type FsPageEntry = (Box<[u8; PAGE_SIZE]>, bool);
 
+/// An epoch arriving in pieces (COW checkpointing): the metadata image lands
+/// first, then page chunks stream in as the primary's background copier
+/// drains them. The epoch enters `pending` — and thus becomes ackable — only
+/// once every expected page has arrived.
+struct CowAssembly {
+    img: CheckpointImage,
+    /// Pages the primary deferred at pause (the protect-set size).
+    expected_pages: u64,
+    /// Pages received in chunks so far.
+    received_pages: u64,
+}
+
 /// The backup agent's buffered replica state.
 pub struct BackupAgent {
     store: Box<dyn PageStore>,
     /// Fully-received epochs awaiting commit (epoch → image).
     pending: BTreeMap<u64, CheckpointImage>,
+    /// In-flight COW chunk assembly (at most one epoch streams at a time).
+    assembling: Option<CowAssembly>,
     /// Latest committed metadata image (pages stripped — they live in the
     /// store).
     committed_meta: Option<CheckpointImage>,
@@ -68,6 +85,7 @@ impl BackupAgent {
         BackupAgent {
             store,
             pending: BTreeMap::new(),
+            assembling: None,
             committed_meta: None,
             fs_pages: HashMap::new(),
             fs_inodes: HashMap::new(),
@@ -89,6 +107,75 @@ impl BackupAgent {
         self.cpu += cpu;
         self.pending.insert(img.epoch, img);
         cpu
+    }
+
+    /// COW streaming step 1: receive the epoch's *metadata* image (pages
+    /// still deferred on the primary) and open a chunk assembly expecting
+    /// `expected_pages` pages. The epoch is not ackable until
+    /// [`BackupAgent::finish_assembly`] confirms every page arrived. Returns
+    /// the backup CPU consumed receiving the metadata.
+    pub fn begin_assembly(&mut self, img: CheckpointImage, expected_pages: u64) -> Nanos {
+        let cpu = self
+            .costs
+            .backup_recv(img.state_bytes(), img.transfer_chunks());
+        self.cpu += cpu;
+        self.assembling = Some(CowAssembly {
+            img,
+            expected_pages,
+            received_pages: 0,
+        });
+        cpu
+    }
+
+    /// COW streaming step 2: receive one chunk of drained pages (full bodies
+    /// and/or delta encodings) for the epoch opened by
+    /// [`BackupAgent::begin_assembly`]. Returns the backup CPU consumed.
+    pub fn ingest_chunk(
+        &mut self,
+        epoch: u64,
+        pages: Vec<(Pid, u64, Box<[u8; PAGE_SIZE]>)>,
+        deltas: Vec<(Pid, u64, PageEncoding)>,
+    ) -> SimResult<Nanos> {
+        let asm = match &mut self.assembling {
+            Some(a) if a.img.epoch == epoch => a,
+            _ => {
+                return Err(SimError::Invalid(format!(
+                    "cow chunk for epoch {epoch} with no matching assembly"
+                )))
+            }
+        };
+        let bytes = pages.len() as u64 * PAGE_SIZE as u64
+            + deltas.iter().map(|(_, _, e)| e.encoded_bytes()).sum::<u64>();
+        let cpu = self.costs.backup_recv(bytes, 1);
+        self.cpu += cpu;
+        asm.received_pages += (pages.len() + deltas.len()) as u64;
+        asm.img.pages.extend(pages);
+        asm.img.page_deltas.extend(deltas);
+        Ok(cpu)
+    }
+
+    /// COW streaming step 3: the commit barrier. Verifies every deferred
+    /// page of the epoch arrived and only then moves the image into
+    /// `pending` — before this, [`BackupAgent::epoch_complete`] is false and
+    /// the epoch can be neither acked nor committed.
+    pub fn finish_assembly(&mut self, epoch: u64) -> SimResult<()> {
+        let asm = match self.assembling.take() {
+            Some(a) if a.img.epoch == epoch => a,
+            other => {
+                self.assembling = other;
+                return Err(SimError::Invalid(format!(
+                    "finish_assembly({epoch}) with no matching assembly"
+                )));
+            }
+        };
+        if asm.received_pages != asm.expected_pages {
+            return Err(SimError::Invalid(format!(
+                "epoch {epoch} assembly incomplete: {}/{} pages",
+                asm.received_pages, asm.expected_pages
+            )));
+        }
+        self.pending.insert(epoch, asm.img);
+        Ok(())
     }
 
     /// Receive DRBD traffic.
@@ -164,8 +251,12 @@ impl BackupAgent {
     /// Failover step 1: discard everything not committed (§IV: "the backup
     /// agent discards any uncommitted state").
     pub fn discard_uncommitted(&mut self) -> usize {
-        let n = self.pending.len();
+        let n = self.pending.len() + self.assembling.is_some() as usize;
         self.pending.clear();
+        // A half-assembled COW epoch is by definition uncommitted: dropping
+        // it means failover falls back to the last *fully-assembled*
+        // committed epoch.
+        self.assembling = None;
         self.drbd.discard_uncommitted();
         n
     }
@@ -363,6 +454,63 @@ mod tests {
             assert_eq!((pa.0, pa.1), (pb.0, pb.1));
             assert_eq!(pa.2, pb.2, "page {:?}/{:#x} byte-identical", pa.0, pa.1);
         }
+    }
+
+    #[test]
+    fn cow_assembly_gates_ack_on_every_deferred_page() {
+        let mut a = agent();
+        let mut disk = BlockDevice::new(DevId(2));
+        a.begin_assembly(img(1, &[]), 3);
+        a.ingest_drbd(vec![DrbdMsg::Barrier(1)]);
+        assert!(
+            !a.epoch_complete(1),
+            "metadata + barrier alone must not ack a COW epoch"
+        );
+        a.ingest_chunk(1, vec![(Pid(1), 0x10, Box::new([1u8; PAGE_SIZE]))], vec![])
+            .unwrap();
+        a.ingest_chunk(1, vec![(Pid(1), 0x11, Box::new([2u8; PAGE_SIZE]))], vec![])
+            .unwrap();
+        assert!(
+            a.finish_assembly(1).is_err(),
+            "2/3 pages: the commit barrier must hold"
+        );
+        // The failed finish consumed the assembly; rebuild and complete it.
+        a.begin_assembly(img(1, &[]), 1);
+        a.ingest_chunk(1, vec![(Pid(1), 0x10, Box::new([1u8; PAGE_SIZE]))], vec![])
+            .unwrap();
+        a.finish_assembly(1).unwrap();
+        assert!(a.epoch_complete(1));
+        a.commit(1, &mut disk).unwrap();
+        assert_eq!(a.stored_pages(), 1);
+    }
+
+    #[test]
+    fn cow_chunk_without_assembly_is_rejected() {
+        let mut a = agent();
+        assert!(a
+            .ingest_chunk(1, vec![(Pid(1), 0x10, Box::new([0u8; PAGE_SIZE]))], vec![])
+            .is_err());
+        a.begin_assembly(img(2, &[]), 1);
+        assert!(a.ingest_chunk(1, vec![], vec![]).is_err(), "epoch mismatch");
+        assert!(a.finish_assembly(1).is_err(), "epoch mismatch");
+    }
+
+    #[test]
+    fn discard_uncommitted_drops_partial_assembly() {
+        let mut a = agent();
+        let mut disk = BlockDevice::new(DevId(2));
+        a.ingest(img(1, &[(1, 0x10, 7)]));
+        a.ingest_drbd(vec![DrbdMsg::Barrier(1)]);
+        a.commit(1, &mut disk).unwrap();
+        // Epoch 2 streams in COW chunks; the primary dies mid-copy.
+        a.begin_assembly(img(2, &[]), 2);
+        a.ingest_chunk(2, vec![(Pid(1), 0x10, Box::new([99u8; PAGE_SIZE]))], vec![])
+            .unwrap();
+        assert_eq!(a.discard_uncommitted(), 1);
+        let full = a.materialize().unwrap();
+        let p10 = full.pages.iter().find(|(_, v, _)| *v == 0x10).unwrap();
+        assert_eq!(p10.2[0], 7, "failover falls back to the last full epoch");
+        assert_eq!(a.committed_epoch(), Some(1));
     }
 
     #[test]

@@ -50,6 +50,15 @@ pub struct OptimizationConfig {
     /// this many workers; stop time charges the max shard instead of the
     /// sum. `1` (the paper's serial dump) in every reproduction run.
     pub dump_workers: u32,
+    /// EXTENSION (§VIII pause-shrinking; HyCoR, arXiv:2101.09584):
+    /// copy-on-write checkpointing — at pause, dirty pages are
+    /// *write-protected* (cheap) instead of copied; the container resumes
+    /// immediately and a background copier drains the protected set into
+    /// staging during the next execution phase, with write faults triggering
+    /// an eager copy-before-write. The drain, transfer, and backup ingest
+    /// all land on the ack path; the epoch is acked only once every deferred
+    /// page has reached the backup. Off in every paper reproduction run.
+    pub cow_checkpoint: bool,
 }
 
 impl OptimizationConfig {
@@ -66,6 +75,7 @@ impl OptimizationConfig {
             pml_tracking: false,
             delta_transfer: false,
             dump_workers: 1,
+            cow_checkpoint: false,
         }
     }
 
@@ -82,6 +92,7 @@ impl OptimizationConfig {
             pml_tracking: false,
             delta_transfer: false,
             dump_workers: 1,
+            cow_checkpoint: false,
         }
     }
 
@@ -134,6 +145,7 @@ impl OptimizationConfig {
             // §V optimization sequence (it is part of the basic design, §III).
             fs_cache: FsCacheMode::Fgetfc,
             workers: self.dump_workers.max(1),
+            cow: self.cow_checkpoint,
         }
     }
 }
@@ -222,7 +234,13 @@ mod tests {
             assert!(!cfg.pml_tracking);
             assert!(!cfg.delta_transfer);
             assert_eq!(cfg.dump_workers, 1);
+            assert!(!cfg.cow_checkpoint);
+            assert!(!cfg.dump_config().cow);
         }
+        // The COW knob flows through to the CRIU dump config.
+        let mut cow = OptimizationConfig::nilicon();
+        cow.cow_checkpoint = true;
+        assert!(cow.dump_config().cow);
         // Sharding knob flows through to the CRIU dump config (clamped ≥ 1).
         let mut cfg = OptimizationConfig::nilicon();
         cfg.dump_workers = 4;

@@ -5,13 +5,17 @@ use crate::config::OptimizationConfig;
 use crate::engine::{CheckpointOutcome, Checkpointer, FailoverReport};
 use crate::trace::{TraceEvent, Tracer};
 use nilicon_container::Container;
-use nilicon_criu::{dump_container, InfrequentCache, RestoreConfig, RestoredContainer, ShadowStore};
-use nilicon_drbd::DrbdPrimary;
+use nilicon_criu::{
+    dump_container, CheckpointImage, DeltaStats, InfrequentCache, PageKey, RestoreConfig,
+    RestoredContainer, ShadowStore,
+};
+use nilicon_drbd::{DrbdMsg, DrbdPrimary};
+use nilicon_sim::ids::Pid;
 use nilicon_sim::kernel::Kernel;
 use nilicon_sim::mem::TrackingMode;
 use nilicon_sim::net::InputMode;
 use nilicon_sim::time::Nanos;
-use nilicon_sim::{SimError, SimResult};
+use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
 
 /// NiLiCon's primary-side engine plus the buffered backup agent.
 pub struct NiLiConEngine {
@@ -25,6 +29,11 @@ pub struct NiLiConEngine {
     shadow: ShadowStore,
     prepared: bool,
     tracer: Tracer,
+    /// Test-only fault injection: abort the COW drain after this many page
+    /// chunks have been streamed, as if the primary died mid-copy. The
+    /// epoch's assembly is never finished at the backup, so it can never be
+    /// acked or committed — failover must fall back to the previous epoch.
+    pub cow_fail_after_chunks: Option<u64>,
 }
 
 impl std::fmt::Debug for NiLiConEngine {
@@ -48,6 +57,7 @@ impl NiLiConEngine {
             shadow: ShadowStore::new(),
             prepared: false,
             tracer: Tracer::disabled(),
+            cow_fail_after_chunks: None,
         }
     }
 
@@ -63,6 +73,146 @@ impl NiLiConEngine {
             t += c.proxy_overhead(bytes, msgs);
         }
         t
+    }
+
+    /// COW extension: the background copy-out of the pages write-protected
+    /// at pause, streamed to the backup while the container runs.
+    ///
+    /// The drain is chunked and the wire is pipelined: chunk `i` can only be
+    /// serialized once it has been copied out (`t_drain`) *and* the link has
+    /// finished the previous chunk (`t_send`). The metadata image and DRBD
+    /// traffic go out first — they are ready the moment the container
+    /// resumes — so transfer overlaps copy-out. The ack lands one
+    /// propagation latency after the last chunk plus the backup's receive
+    /// CPU: the epoch is acked only once every deferred page has arrived,
+    /// and the backup's `finish_assembly` barrier enforces the same
+    /// condition structurally.
+    ///
+    /// Returns `(ack_delay, state_bytes, backup_cpu)`. The emitted
+    /// `CowCopy + Transfer + BackupIngest + Ack` spans tile `ack_delay`
+    /// exactly.
+    fn cow_stream(
+        &mut self,
+        primary: &mut Kernel,
+        mut img: CheckpointImage,
+        msgs: Vec<DrbdMsg>,
+        drbd_bytes: u64,
+        drbd_msgs: u64,
+        epoch: u64,
+    ) -> SimResult<(Nanos, u64, Nanos)> {
+        /// Pages per streamed chunk (the same batch size
+        /// `CheckpointImage::transfer_chunks` models for the eager path).
+        const COW_CHUNK: usize = 64;
+        let costs = primary.costs.clone();
+        let link = costs.repl_link_latency;
+
+        let deferred = std::mem::take(&mut img.deferred_vpns);
+        let expected = deferred.len() as u64;
+        let mut pids: Vec<Pid> = Vec::new();
+        for &(pid, _) in &deferred {
+            if !pids.contains(&pid) {
+                pids.push(pid);
+            }
+        }
+
+        // Chunk 0: metadata + DRBD, ready immediately. `transfer_cost`
+        // includes the propagation latency; peel it off — in the pipelined
+        // model it is paid once, after the last chunk is serialized.
+        let meta_bytes = img.state_bytes() + drbd_bytes;
+        let meta_ser =
+            self.transfer_cost(primary, meta_bytes, img.transfer_chunks() + drbd_msgs) - link;
+        let mut backup_cpu = self.agent.begin_assembly(img, expected);
+        backup_cpu += self.agent.ingest_drbd(msgs);
+
+        let delta = self.opts.delta_transfer;
+        let mut dstats = DeltaStats::default();
+        let mut drained = 0u64;
+        let mut payload_bytes = 0u64;
+        let mut chunks_sent = 0u64;
+        let mut t_drain: Nanos = 0; // when chunk i finishes copy-out
+        let mut t_send: Nanos = meta_ser; // when the link finishes chunk i
+        let mut aborted = false;
+        'drain: for &pid in &pids {
+            loop {
+                let m0 = primary.meter.lifetime_total();
+                let chunk = primary.cow_drain_pages(pid, COW_CHUNK)?;
+                if chunk.is_empty() {
+                    break;
+                }
+                let n = chunk.len() as u64;
+                // Delta composition: encode at copy time against the shadow
+                // of the last shipped epoch — the encode CPU rides the
+                // drain, off the stop phase.
+                let (pages, deltas, bytes) = if delta {
+                    primary.meter.charge(n * costs.delta_encode_per_page);
+                    let mut encs = Vec::with_capacity(chunk.len());
+                    let mut bytes = 0u64;
+                    for (vpn, data) in chunk {
+                        let enc = self.shadow.encode(PageKey { pid, vpn }, &data, &mut dstats);
+                        bytes += enc.encoded_bytes();
+                        encs.push((pid, vpn, enc));
+                    }
+                    (Vec::new(), encs, bytes)
+                } else {
+                    let pages: Vec<_> = chunk.into_iter().map(|(vpn, d)| (pid, vpn, d)).collect();
+                    (pages, Vec::new(), n * PAGE_SIZE as u64)
+                };
+                t_drain += primary.meter.lifetime_total() - m0;
+                t_send = t_send.max(t_drain) + costs.repl_wire(bytes) + costs.repl_msg_overhead;
+                drained += n;
+                payload_bytes += bytes;
+                chunks_sent += 1;
+                backup_cpu += self.agent.ingest_chunk(epoch, pages, deltas)?;
+                if self.cow_fail_after_chunks.is_some_and(|k| chunks_sent >= k) {
+                    aborted = true;
+                    break 'drain;
+                }
+            }
+        }
+        let mut faults = 0u64;
+        for &pid in &pids {
+            faults += primary.take_cow_faults(pid)?;
+        }
+        // The drain was sampled off the lifetime meter; clear the interval
+        // meter so the next exec phase starts clean (the stop phase was
+        // already consumed by `checkpoint`).
+        primary.meter.take();
+
+        if !aborted {
+            // Commit barrier: the epoch becomes ackable only now.
+            self.agent.finish_assembly(epoch)?;
+        }
+
+        let ack_delay = t_send + link + backup_cpu + link;
+        self.tracer.span(
+            TraceEvent::CowCopy {
+                pages: drained,
+                bytes: payload_bytes,
+            },
+            t_drain,
+        );
+        if faults > 0 {
+            self.tracer.mark(TraceEvent::CowFault { faults });
+        }
+        if delta && self.tracer.enabled() {
+            self.tracer.mark(TraceEvent::DeltaEncode {
+                zero_pages: dstats.zero_pages,
+                delta_pages: dstats.delta_pages,
+                full_pages: dstats.full_pages,
+                raw_bytes: dstats.raw_bytes,
+                encoded_bytes: dstats.encoded_bytes,
+            });
+        }
+        self.tracer.span(
+            TraceEvent::Transfer {
+                bytes: meta_bytes + payload_bytes,
+            },
+            t_send + link - t_drain,
+        );
+        self.tracer
+            .span(TraceEvent::BackupIngest { probes: 0 }, backup_cpu);
+        self.tracer.span(TraceEvent::Ack, link);
+        Ok((ack_delay, meta_bytes + payload_bytes, backup_cpu))
     }
 }
 
@@ -147,8 +297,9 @@ impl Checkpointer for NiLiConEngine {
         // classify each dirty page against the shadow of the last shipped
         // epoch. The encode CPU is part of the stop phase — it must finish
         // before the container resumes, or the parasite's page contents
-        // could change under the encoder.
-        let delta_stats = if self.opts.delta_transfer {
+        // could change under the encoder. Under COW the pages are deferred,
+        // so encoding moves to the background drain (`cow_stream`).
+        let delta_stats = if self.opts.delta_transfer && !cfg.cow {
             let stats = img.encode_pages(&mut self.shadow);
             primary
                 .meter
@@ -204,6 +355,20 @@ impl Checkpointer for NiLiConEngine {
         });
 
         // --- Transfer + ack --------------------------------------------
+        // COW: the container is already running; drain the write-protected
+        // pages into staging and stream them to the backup, chunk by chunk.
+        if cfg.cow {
+            let (ack_delay, state_bytes, backup_cpu) =
+                self.cow_stream(primary, img, msgs, wire.bytes, drbd_msgs, epoch)?;
+            return Ok(CheckpointOutcome {
+                stop_time,
+                state_bytes,
+                dirty_pages,
+                ack_delay,
+                backup_cpu,
+            });
+        }
+
         // Without the staging buffer the parasite pipes pages out one at a
         // time, so the synchronous transfer pays per-page message overheads
         // (part of what §V-D(2)+(3) eliminate).
@@ -439,6 +604,118 @@ mod tests {
         };
         assert_eq!(delta_pages, 1);
         assert!(encoded_bytes < raw_bytes / 10, "sparse epoch shrinks 10x+");
+    }
+
+    #[test]
+    fn cow_checkpoint_moves_copy_off_the_stop_phase() {
+        use crate::trace::{TraceEvent, Tracer};
+        let run = |cow: bool| {
+            let mut p = Kernel::default();
+            let mut b = Kernel::default();
+            let spec = ContainerSpec::server("redis", 10, 6379);
+            let c = ContainerRuntime::create(&mut p, &spec).unwrap();
+            let mut opts = OptimizationConfig::nilicon();
+            opts.cow_checkpoint = cow;
+            let mut e = NiLiConEngine::new(opts, p.costs.clone());
+            let (tracer, ring) = Tracer::in_memory(256);
+            e.set_tracer(tracer.clone());
+            e.prepare(&mut p, &c).unwrap();
+            // Warm epoch: initial full sync.
+            e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+            e.commit(&mut b, 1).unwrap();
+            for page in 0..300u64 {
+                p.mem_write(c.init_pid(), MemLayout::heap_page(page), &[9])
+                    .unwrap();
+            }
+            tracer.begin_epoch(2, 0);
+            let o = e.checkpoint(&mut p, &mut b, &c, 2).unwrap();
+            tracer.reconcile(2, o.stop_time, o.ack_delay).unwrap();
+            e.commit(&mut b, 2).unwrap();
+            (o, ring.snapshot(), e)
+        };
+        let (eager, eager_recs, eager_e) = run(false);
+        let (cow, cow_recs, cow_e) = run(true);
+
+        assert_eq!(cow.dirty_pages, eager.dirty_pages);
+        assert_eq!(
+            cow.state_bytes, eager.state_bytes,
+            "same pages cross the wire either way"
+        );
+        // Small fixture: the footprint-proportional pagemap scan still
+        // dominates, but the per-page copy cost itself must have left the
+        // stop phase (protect ≈ 150 ns vs copy ≈ 2170 ns, × 300 pages).
+        let saved = eager.stop_time - cow.stop_time;
+        assert!(
+            saved > 300 * 1_500,
+            "copy cost left the stop phase: saved {saved}ns (stop {} vs eager {})",
+            cow.stop_time,
+            eager.stop_time
+        );
+        assert!(
+            cow.ack_delay > eager.ack_delay,
+            "the copy did not vanish — it moved to the ack path"
+        );
+
+        assert!(
+            !eager_recs
+                .iter()
+                .any(|r| matches!(r.kind, TraceEvent::CowCopy { .. })),
+            "no CowCopy span on the eager path"
+        );
+        let span = cow_recs
+            .iter()
+            .find(|r| r.epoch == 2 && matches!(r.kind, TraceEvent::CowCopy { .. }))
+            .expect("CowCopy span emitted");
+        let TraceEvent::CowCopy { pages, bytes } = span.kind else {
+            unreachable!()
+        };
+        assert_eq!(pages, 300);
+        assert_eq!(bytes, 300 * 4096);
+        assert!(span.dur > 0, "the drain costs real time");
+
+        // The committed backup images are byte-identical.
+        let a = eager_e.agent.materialize().unwrap();
+        let b = cow_e.agent.materialize().unwrap();
+        assert_eq!(a.pages.len(), b.pages.len());
+        for (pa, pb) in a.pages.iter().zip(b.pages.iter()) {
+            assert_eq!((pa.0, pa.1), (pb.0, pb.1));
+            assert_eq!(pa.2, pb.2, "page {:?}/{:#x}", pa.0, pa.1);
+        }
+    }
+
+    #[test]
+    fn cow_mid_copy_failure_is_never_ackable() {
+        let mut p = Kernel::default();
+        let mut b = Kernel::default();
+        let spec = ContainerSpec::server("redis", 10, 6379);
+        let c = ContainerRuntime::create(&mut p, &spec).unwrap();
+        let mut opts = OptimizationConfig::nilicon();
+        opts.cow_checkpoint = true;
+        let mut e = NiLiConEngine::new(opts, p.costs.clone());
+        e.prepare(&mut p, &c).unwrap();
+        p.mem_write(c.init_pid(), MemLayout::heap(0), b"committed")
+            .unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+
+        // Epoch 2: the primary dies after the first streamed chunk.
+        for page in 0..200u64 {
+            p.mem_write(c.init_pid(), MemLayout::heap_page(page), &[7])
+                .unwrap();
+        }
+        e.cow_fail_after_chunks = Some(1);
+        e.checkpoint(&mut p, &mut b, &c, 2).unwrap();
+        assert!(
+            !e.agent.epoch_complete(2),
+            "partial assembly must not satisfy the ack condition"
+        );
+        let (restored, _) = e.failover(&mut b).unwrap();
+        restored.finish(&mut b).unwrap();
+        let mut buf = [0u8; 9];
+        b.mem_read(restored.container.init_pid(), MemLayout::heap(0), &mut buf)
+            .unwrap();
+        assert_eq!(&buf, b"committed", "fell back to the last full epoch");
+        assert_eq!(e.committed_epoch(), Some(1));
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //!
 //! ```text
 //! Freeze + Dump + [DeltaEncode] + LocalCopy   == stop_time
-//! Transfer + BackupIngest + Ack               == ack_delay
+//! [CowCopy] + Transfer + BackupIngest + Ack   == ack_delay
 //! ```
 //!
 //! Without one, every phase sits on the stop critical path:
@@ -30,7 +30,11 @@
 //! ack_delay == 0
 //! ```
 //!
-//! (`DeltaEncode` appears only when `delta_transfer` is enabled.)
+//! (`DeltaEncode` appears only when `delta_transfer` is enabled; `CowCopy` —
+//! the background drain of write-protected pages — only when `cow_checkpoint`
+//! is. COW moves the page copy *and* any delta encoding off the stop phase,
+//! so with `--cow` the `Dump` span shrinks to the protect cost and the copy
+//! shows up on the ack path instead.)
 //!
 //! [`Tracer::reconcile`] checks this once per epoch; the harness turns a
 //! mismatch into a hard [`SimError::Invalid`](nilicon_sim::SimError) — an
@@ -132,6 +136,23 @@ pub enum TraceEvent {
         /// Wire bytes including the barrier.
         bytes: u64,
     },
+    /// Background copy-out of the pages write-protected at pause (COW
+    /// extension; emitted only when `cow_checkpoint` is on). Runs during the
+    /// next execution phase, so it sits on the *ack* path, not the stop
+    /// phase.
+    CowCopy {
+        /// Pages drained (protected set + fault-staged copies).
+        pages: u64,
+        /// Bytes handed to the transfer path (encoded bytes under `--delta`).
+        bytes: u64,
+    },
+    /// Container writes that hit a still-protected page and triggered an
+    /// eager copy-before-write (marker; emitted only when `faults > 0`). The
+    /// fault cost is charged to the container's runtime tracking overhead.
+    CowFault {
+        /// Write faults taken on protected pages this epoch.
+        faults: u64,
+    },
     /// Wire transfer of the epoch's state to the backup.
     Transfer {
         /// Bytes transferred (container state + DRBD traffic).
@@ -198,6 +219,8 @@ impl TraceEvent {
             TraceEvent::DeltaEncode { .. } => "DeltaEncode",
             TraceEvent::LocalCopy => "LocalCopy",
             TraceEvent::DrbdShip { .. } => "DrbdShip",
+            TraceEvent::CowCopy { .. } => "CowCopy",
+            TraceEvent::CowFault { .. } => "CowFault",
             TraceEvent::Transfer { .. } => "Transfer",
             TraceEvent::BackupIngest { .. } => "BackupIngest",
             TraceEvent::Ack => "Ack",
@@ -224,7 +247,10 @@ impl TraceEvent {
     pub fn is_ack_phase(&self) -> bool {
         matches!(
             self,
-            TraceEvent::Transfer { .. } | TraceEvent::BackupIngest { .. } | TraceEvent::Ack
+            TraceEvent::CowCopy { .. }
+                | TraceEvent::Transfer { .. }
+                | TraceEvent::BackupIngest { .. }
+                | TraceEvent::Ack
         )
     }
 }
@@ -298,6 +324,13 @@ impl serde::ser::Serialize for TraceEvent {
                 "DrbdShip",
                 vec![("writes".into(), u(*writes)), ("bytes".into(), u(*bytes))],
             ),
+            TraceEvent::CowCopy { pages, bytes } => tagged(
+                "CowCopy",
+                vec![("pages".into(), u(*pages)), ("bytes".into(), u(*bytes))],
+            ),
+            TraceEvent::CowFault { faults } => {
+                tagged("CowFault", vec![("faults".into(), u(*faults))])
+            }
             TraceEvent::Transfer { bytes } => tagged("Transfer", vec![("bytes".into(), u(*bytes))]),
             TraceEvent::BackupIngest { probes } => {
                 tagged("BackupIngest", vec![("probes".into(), u(*probes))])
@@ -387,6 +420,13 @@ impl serde::de::Deserialize for TraceEvent {
             "DrbdShip" => Ok(TraceEvent::DrbdShip {
                 writes: f(fields, "writes")?,
                 bytes: f(fields, "bytes")?,
+            }),
+            "CowCopy" => Ok(TraceEvent::CowCopy {
+                pages: f(fields, "pages")?,
+                bytes: f(fields, "bytes")?,
+            }),
+            "CowFault" => Ok(TraceEvent::CowFault {
+                faults: f(fields, "faults")?,
             }),
             "Transfer" => Ok(TraceEvent::Transfer {
                 bytes: f(fields, "bytes")?,
@@ -772,6 +812,27 @@ mod tests {
     }
 
     #[test]
+    fn cow_copy_counts_toward_ack_sum() {
+        let (t, _ring) = Tracer::in_memory(16);
+        t.begin_epoch(1, 0);
+        t.span(TraceEvent::Freeze, 10);
+        t.span(TraceEvent::Dump { dirty_pages: 8 }, 20);
+        t.span(TraceEvent::LocalCopy, 5);
+        t.span(
+            TraceEvent::CowCopy {
+                pages: 8,
+                bytes: 32_768,
+            },
+            40,
+        );
+        t.mark(TraceEvent::CowFault { faults: 2 }); // marker: no sum impact
+        t.span(TraceEvent::Transfer { bytes: 32_768 }, 7);
+        t.span(TraceEvent::BackupIngest { probes: 0 }, 3);
+        t.span(TraceEvent::Ack, 2);
+        t.reconcile(1, 35, 52).unwrap();
+    }
+
+    #[test]
     fn reconcile_detects_missing_span() {
         let (t, _ring) = Tracer::in_memory(16);
         t.begin_epoch(1, 0);
@@ -844,6 +905,11 @@ mod tests {
                 writes: 7,
                 bytes: 4120,
             },
+            TraceEvent::CowCopy {
+                pages: 300,
+                bytes: 1_228_800,
+            },
+            TraceEvent::CowFault { faults: 12 },
             TraceEvent::Transfer { bytes: 12345 },
             TraceEvent::BackupIngest { probes: 44 },
             TraceEvent::Ack,

@@ -53,6 +53,10 @@ pub struct DumpConfig {
     /// costs instead of their sum (the concurrency opportunity §VIII points
     /// at — processes dump independently). `1` = serial stock behavior.
     pub workers: u32,
+    /// Copy-on-write dump: write-protect dirty pages instead of copying them
+    /// while frozen, recording them in `CheckpointImage::deferred_vpns` for
+    /// the engine's background copier. Off in every paper-faithful row.
+    pub cow: bool,
 }
 
 impl DumpConfig {
@@ -68,6 +72,7 @@ impl DumpConfig {
             dirty_source: DirtySource::SoftDirty,
             fs_cache: FsCacheMode::FlushAll,
             workers: 1,
+            cow: false,
         }
     }
 
@@ -82,6 +87,7 @@ impl DumpConfig {
             dirty_source: DirtySource::SoftDirty,
             fs_cache: FsCacheMode::Fgetfc,
             workers: 1,
+            cow: false,
         }
     }
 }
@@ -145,14 +151,22 @@ pub fn dump_container(
         } else {
             kernel.mm(pid)?.resident_vpns()
         };
-        let pages = kernel.read_pages(pid, &vpns, cfg.page_via)?;
+        if cfg.cow {
+            // Defer the dominant copy: write-protect the dirty set and hand
+            // it to the engine's background copier via the image.
+            kernel.cow_protect_pages(pid, &vpns)?;
+            img.stats.dirty_pages += vpns.len() as u64;
+            img.deferred_vpns.extend(vpns.iter().map(|&vpn| (pid, vpn)));
+        } else {
+            let pages = kernel.read_pages(pid, &vpns, cfg.page_via)?;
+            img.stats.dirty_pages += pages.len() as u64;
+            for (vpn, data) in pages {
+                img.pages.push((pid, vpn, data));
+            }
+        }
         let e_pages = kernel.meter.lifetime_total();
         img.stats.phases.pages += e_pages - s_pages;
         per_pid_costs.push((s_pages - s_proc, e_pages - s_pages));
-        img.stats.dirty_pages += pages.len() as u64;
-        for (vpn, data) in pages {
-            img.pages.push((pid, vpn, data));
-        }
 
         img.processes.push(ProcessImage {
             pid,
@@ -256,6 +270,7 @@ pub fn full_dump(
     kernel.freeze_cgroup(container.cgroup, cfg.freeze)?;
     let mut full_cfg = *cfg;
     full_cfg.incremental = false;
+    full_cfg.cow = false; // one-shot migration needs the pages in the image
     let img = dump_container(kernel, container, &full_cfg, None, 0)?;
     kernel.thaw_cgroup(container.cgroup)?;
     Ok(img)
@@ -477,6 +492,48 @@ mod tests {
         // but phases must still telescope and stop_time stay positive.
         assert_eq!(img.stats.phases.total(), img.stats.stop_time);
         assert!(img.stats.stop_time > 0);
+    }
+
+    #[test]
+    fn cow_dump_defers_pages_and_shrinks_stop_time() {
+        let run = |cow: bool| {
+            let (mut k, c) = setup();
+            let pid = c.init_pid();
+            for p in 0..200u64 {
+                k.mem_write(pid, nilicon_container::MemLayout::heap_page(p), b"d")
+                    .unwrap();
+            }
+            k.freeze_cgroup(c.cgroup, FreezeStrategy::BusyPoll).unwrap();
+            let mut cfg = DumpConfig::nilicon();
+            cfg.cow = cow;
+            k.meter.take();
+            let img = dump_container(&mut k, &c, &cfg, None, 1).unwrap();
+            let metered = k.meter.take();
+            assert_eq!(
+                img.stats.phases.total(),
+                img.stats.stop_time,
+                "cow={cow}: stage deltas telescope to stop_time"
+            );
+            assert_eq!(metered, img.stats.stop_time);
+            (img, k, c)
+        };
+        let (eager, _, _) = run(false);
+        let (cow, mut k, c) = run(true);
+        assert_eq!(cow.stats.dirty_pages, eager.stats.dirty_pages);
+        assert!(cow.pages.is_empty(), "no pages copied while frozen");
+        assert_eq!(cow.deferred_vpns.len() as u64, cow.stats.dirty_pages);
+        assert!(
+            cow.stats.stop_time < eager.stats.stop_time,
+            "cow stop {} must beat eager stop {}",
+            cow.stats.stop_time,
+            eager.stats.stop_time
+        );
+        // The deferred set is drainable with the real contents.
+        let pid = c.init_pid();
+        assert_eq!(k.cow_pending(pid).unwrap(), 200);
+        let batch = k.cow_drain_pages(pid, 1000).unwrap();
+        assert_eq!(batch.len(), 200);
+        assert_eq!(&batch[0].1[..1], b"d");
     }
 
     #[test]

@@ -104,6 +104,15 @@ pub struct CheckpointImage {
     ///
     /// [`pages`]: CheckpointImage::pages
     pub page_deltas: Vec<(Pid, u64, PageEncoding)>,
+    /// Copy-on-write dump: dirty pages that were *write-protected* instead
+    /// of copied while the container was frozen. The engine's background
+    /// copier drains their contents into [`pages`]/[`page_deltas`] (clearing
+    /// this list) during the next execution phase; the epoch may only be
+    /// acked once every deferred page has reached the backup.
+    ///
+    /// [`pages`]: CheckpointImage::pages
+    /// [`page_deltas`]: CheckpointImage::page_deltas
+    pub deferred_vpns: Vec<(Pid, u64)>,
     /// Listening ports.
     pub listeners: Vec<u16>,
     /// Established-socket repair dumps.

@@ -75,6 +75,21 @@ pub struct CostModel {
     pub stat_per_file: Nanos,
     /// Materializing (restoring) one page's contents at restore time.
     pub page_restore: Nanos,
+    /// Write-protecting one dirty page at a copy-on-write checkpoint pause:
+    /// a PTE flag flip plus its share of the TLB shootdown, no data copy.
+    /// `calibrated` ~15x below `page_copy` — deferring the copy out of the
+    /// frozen window is the entire point of the COW mode (§VIII names
+    /// shrinking the pause as future work; HyCoR defers the same way).
+    pub cow_protect_per_page: Nanos,
+    /// Write-protect fault taken when the container touches a
+    /// still-protected page after resume: fault entry/exit (like
+    /// `soft_dirty_fault`) plus an eager copy-before-write of the old
+    /// contents into staging (one `page_copy`). Charged to the container's
+    /// *runtime* overhead, not the stop phase.
+    pub cow_fault: Nanos,
+    /// Background copier draining one protected page into staging during
+    /// the next execution phase: one `page_copy` plus un-protecting the PTE.
+    pub cow_drain_per_page: Nanos,
 
     // ------------------------------------------------------------------
     // Freezer
@@ -258,6 +273,9 @@ impl Default for CostModel {
             netlink_per_vma: us(2),
             stat_per_file: us(25),
             page_restore: 3_500,
+            cow_protect_per_page: 150,
+            cow_fault: 4_700, // soft_dirty_fault + page_copy, rounded
+            cow_drain_per_page: 2_300, // page_copy + PTE un-protect
 
             freeze_signal_per_thread: us(15),
             freeze_syscall_interrupt: us(60),
@@ -382,6 +400,20 @@ mod tests {
         assert_eq!(c.infrequent_state_collect(), 155 * MILLISECOND);
         // §VII-C: 128 sockets ≈ 13 ms.
         assert!((10 * MILLISECOND..16 * MILLISECOND).contains(&(128 * c.socket_repair_dump)));
+    }
+
+    #[test]
+    fn cow_constants_are_consistent() {
+        let c = CostModel::default();
+        assert!(
+            c.cow_protect_per_page * 10 < c.page_copy,
+            "protecting must be far cheaper than the copy it defers"
+        );
+        assert!(
+            c.cow_fault >= c.soft_dirty_fault + c.page_copy,
+            "a COW fault is a tracking fault plus an eager page copy"
+        );
+        assert!(c.cow_drain_per_page >= c.page_copy);
     }
 
     #[test]

@@ -223,7 +223,10 @@ impl Kernel {
             TrackingMode::SoftDirty => self.costs.soft_dirty_fault,
             TrackingMode::WriteProtect => self.costs.vmexit_fault,
         };
-        let fault_total = out.tracking_faults as u64 * fault_cost;
+        // COW write-protect faults (eager copy-before-write of pages a
+        // deferred checkpoint still holds) are runtime overhead too.
+        let fault_total = out.tracking_faults as u64 * fault_cost
+            + out.cow_faults as u64 * self.costs.cow_fault;
         self.charge(len * self.costs.copy_per_byte + fault_total);
         self.fault_meter.charge(fault_total);
         Ok(out)
@@ -544,6 +547,45 @@ impl Kernel {
             out.push((vpn, mm.snapshot_page(vpn)?));
         }
         Ok(out)
+    }
+
+    /// Copy-on-write checkpoint pause: write-protect `vpns` instead of
+    /// copying them, charging only the cheap per-page PTE work. The pages
+    /// are copied out after resume by [`Self::cow_drain_pages`] (or eagerly
+    /// by a write fault), moving the dominant stop-phase cost into the next
+    /// execution phase.
+    pub fn cow_protect_pages(&mut self, pid: Pid, vpns: &[u64]) -> SimResult<()> {
+        self.charge(self.costs.syscall_base + vpns.len() as u64 * self.costs.cow_protect_per_page);
+        self.mm_mut(pid)?.cow_protect(vpns);
+        Ok(())
+    }
+
+    /// Background-copier step: collect fault-staged pages (already paid for
+    /// at fault time) plus up to `max` drained pages (charged per page).
+    /// Returns the combined `(vpn, contents)` batch.
+    pub fn cow_drain_pages(
+        &mut self,
+        pid: Pid,
+        max: usize,
+    ) -> SimResult<Vec<(u64, Box<[u8; crate::PAGE_SIZE]>)>> {
+        let mm = self.mm_mut(pid)?;
+        let mut out = mm.take_cow_staged();
+        let drained = mm.cow_drain(max);
+        self.charge(drained.len() as u64 * self.costs.cow_drain_per_page);
+        out.extend(drained);
+        Ok(out)
+    }
+
+    /// Pages a deferred checkpoint still owes for `pid`: protected and not
+    /// yet drained or faulted. (Fault-staged copies are collected by the
+    /// next [`Self::cow_drain_pages`] call regardless of this count.)
+    pub fn cow_pending(&self, pid: Pid) -> SimResult<usize> {
+        Ok(self.mm(pid)?.cow_protected_count())
+    }
+
+    /// COW write-protect faults taken by `pid` since the last call.
+    pub fn take_cow_faults(&mut self, pid: Pid) -> SimResult<u64> {
+        Ok(self.mm_mut(pid)?.take_cow_faults())
     }
 
     /// Install pages at restore time.
@@ -890,6 +932,52 @@ mod tests {
         assert!(!k.spaces.contains_key(&mm));
         assert!(k.pids_in_cgroup(cg).is_empty());
         assert!(k.kill_process(pid).is_err());
+    }
+
+    #[test]
+    fn cow_protect_is_cheaper_than_copy_and_drain_pays_later() {
+        let (mut k, pid, _, _) = kernel_with_container();
+        k.mm_mut(pid).unwrap().set_tracking(TrackingMode::SoftDirty);
+        let vpns: Vec<u64> = (0x10..0x20).collect();
+        for &v in &vpns {
+            k.mem_write(pid, v * crate::PAGE_SIZE as u64, &[v as u8; 8])
+                .unwrap();
+        }
+        k.meter.take();
+        k.read_pages(pid, &vpns, PageTransferVia::SharedMem).unwrap();
+        let eager = k.meter.take();
+        k.cow_protect_pages(pid, &vpns).unwrap();
+        let protect = k.meter.take();
+        assert!(
+            protect * 5 < eager,
+            "protect ({protect}) must be far cheaper than eager copy ({eager})"
+        );
+        assert_eq!(k.cow_pending(pid).unwrap(), vpns.len());
+        let batch = k.cow_drain_pages(pid, 100).unwrap();
+        let drain = k.meter.take();
+        assert_eq!(batch.len(), vpns.len());
+        assert_eq!(batch[0].1[0], 0x10, "drained contents are real");
+        assert_eq!(drain, vpns.len() as u64 * k.costs.cow_drain_per_page);
+        assert_eq!(k.cow_pending(pid).unwrap(), 0);
+    }
+
+    #[test]
+    fn cow_fault_charges_runtime_overhead_and_drain_skips_it() {
+        let (mut k, pid, _, _) = kernel_with_container();
+        k.cow_protect_pages(pid, &[0x10]).unwrap();
+        k.meter.take();
+        k.fault_meter.take();
+        k.mem_write(pid, 0x10000, b"race").unwrap();
+        assert!(k.meter.take() >= k.costs.cow_fault);
+        assert!(
+            k.fault_meter.take() >= k.costs.cow_fault,
+            "COW faults count as runtime tracking overhead"
+        );
+        assert_eq!(k.take_cow_faults(pid).unwrap(), 1);
+        k.meter.take();
+        let batch = k.cow_drain_pages(pid, 100).unwrap();
+        assert_eq!(batch.len(), 1, "fault-staged page is handed over");
+        assert_eq!(k.meter.take(), 0, "its copy was already paid at fault time");
     }
 
     #[test]

@@ -5,7 +5,7 @@ use super::vma::{MappedFile, Perms, Vma, VmaKind};
 use super::TrackingMode;
 use crate::error::{SimError, SimResult};
 use crate::PAGE_SIZE;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 const PS: u64 = PAGE_SIZE as u64;
 
@@ -20,12 +20,17 @@ pub struct WriteOutcome {
     pub tracking_faults: u32,
     /// Pages newly materialized (previously unbacked).
     pub pages_materialized: u32,
+    /// Pages that were still COW-protected by a deferred checkpoint and
+    /// took a write-protect fault: their old contents were eagerly copied
+    /// into the staging area before this write landed.
+    pub cow_faults: u32,
 }
 
 impl WriteOutcome {
     fn absorb(&mut self, other: WriteOutcome) {
         self.tracking_faults += other.tracking_faults;
         self.pages_materialized += other.pages_materialized;
+        self.cow_faults += other.cow_faults;
     }
 }
 
@@ -40,6 +45,14 @@ pub struct AddressSpace {
     tracking: TrackingMode,
     /// Current heap break (end of the heap VMA), if a heap exists.
     brk: Option<u64>,
+    /// Pages write-protected by a deferred (copy-on-write) checkpoint whose
+    /// checkpoint-time contents have not been copied out yet.
+    cow_protected: BTreeSet<u64>,
+    /// Checkpoint-time contents of protected pages that took a write fault
+    /// before the background copier reached them (copy-before-write).
+    cow_staged: Vec<(u64, Box<[u8; PAGE_SIZE]>)>,
+    /// COW write-protect faults taken since the last [`Self::take_cow_faults`].
+    cow_faults: u64,
 }
 
 impl AddressSpace {
@@ -257,6 +270,19 @@ impl AddressSpace {
 
     fn touch_page(&mut self, vpn: u64) -> WriteOutcome {
         let mut out = WriteOutcome::default();
+        // Copy-before-write: a write racing the background copier must stage
+        // the checkpoint-time contents *before* the new bytes land (callers
+        // copy bytes only after `touch_page` returns, so this snapshot is
+        // exactly what the frozen container held).
+        if self.cow_protected.remove(&vpn) {
+            out.cow_faults += 1;
+            self.cow_faults += 1;
+            let snap = match self.frames.get(&vpn) {
+                Some(f) => f.snapshot(),
+                None => Box::new([0u8; PAGE_SIZE]),
+            };
+            self.cow_staged.push((vpn, snap));
+        }
         let frame = self.frames.entry(vpn).or_insert_with(|| {
             out.pages_materialized += 1;
             let mut f = PageFrame::zeroed();
@@ -371,6 +397,54 @@ impl AddressSpace {
         let mut v: Vec<u64> = self.frames.keys().copied().collect();
         v.sort_unstable();
         v
+    }
+
+    // ------------------------------------------------------------------
+    // Copy-on-write checkpoint support
+    // ------------------------------------------------------------------
+
+    /// Write-protect `vpns` for a deferred checkpoint: instead of copying
+    /// these pages while the container is frozen, the caller records them
+    /// here and drains them after resume ([`Self::cow_drain`]). A write to a
+    /// protected page before it is drained triggers an eager
+    /// copy-before-write (see `touch_page`).
+    pub fn cow_protect(&mut self, vpns: &[u64]) {
+        self.cow_protected.extend(vpns.iter().copied());
+    }
+
+    /// Pages still write-protected (not yet drained or faulted).
+    pub fn cow_protected_count(&self) -> usize {
+        self.cow_protected.len()
+    }
+
+    /// Pages whose checkpoint-time contents were eagerly staged by write
+    /// faults since the last call. Their copy cost was already paid at
+    /// fault time (runtime overhead), so handing them over is free.
+    pub fn take_cow_staged(&mut self) -> Vec<(u64, Box<[u8; PAGE_SIZE]>)> {
+        std::mem::take(&mut self.cow_staged)
+    }
+
+    /// Background-copier step: un-protect and copy out up to `max` protected
+    /// pages in ascending vpn order. The caller charges per-page drain cost
+    /// for exactly the pages returned.
+    pub fn cow_drain(&mut self, max: usize) -> Vec<(u64, Box<[u8; PAGE_SIZE]>)> {
+        let take: Vec<u64> = self.cow_protected.iter().take(max).copied().collect();
+        let mut out = Vec::with_capacity(take.len());
+        for vpn in take {
+            self.cow_protected.remove(&vpn);
+            let snap = match self.frames.get(&vpn) {
+                Some(f) => f.snapshot(),
+                None => Box::new([0u8; PAGE_SIZE]),
+            };
+            out.push((vpn, snap));
+        }
+        out
+    }
+
+    /// COW write-protect faults taken since the last call (per-epoch
+    /// accounting for the `CowFault` trace mark).
+    pub fn take_cow_faults(&mut self) -> u64 {
+        std::mem::take(&mut self.cow_faults)
     }
 }
 
@@ -547,6 +621,65 @@ mod tests {
         assert_eq!(a.mapped_pages(), 16 + 2);
         a.write(0x10000, b"x").unwrap();
         assert_eq!(a.resident_vpns(), vec![0x10]);
+    }
+
+    #[test]
+    fn cow_drain_returns_checkpoint_contents() {
+        let mut a = space_with_heap();
+        a.write(0x10000, b"AAAA").unwrap();
+        a.write(0x11000, b"BBBB").unwrap();
+        a.cow_protect(&[0x10, 0x11]);
+        assert_eq!(a.cow_protected_count(), 2);
+        let drained = a.cow_drain(8);
+        assert_eq!(a.cow_protected_count(), 0);
+        let vpns: Vec<u64> = drained.iter().map(|(v, _)| *v).collect();
+        assert_eq!(vpns, vec![0x10, 0x11], "ascending vpn order");
+        assert_eq!(&drained[0].1[..4], b"AAAA");
+        assert_eq!(&drained[1].1[..4], b"BBBB");
+    }
+
+    #[test]
+    fn cow_fault_stages_old_contents_before_write() {
+        let mut a = space_with_heap();
+        a.set_tracking(TrackingMode::SoftDirty);
+        a.write(0x10000, b"OLD!").unwrap();
+        a.cow_protect(&[0x10]);
+        let o = a.write(0x10000, b"NEW!").unwrap();
+        assert_eq!(o.cow_faults, 1, "write to a protected page faults");
+        assert_eq!(a.cow_protected_count(), 0, "fault un-protects the page");
+        let staged = a.take_cow_staged();
+        assert_eq!(staged.len(), 1);
+        assert_eq!(&staged[0].1[..4], b"OLD!", "staged copy predates the write");
+        let mut buf = [0u8; 4];
+        a.read(0x10000, &mut buf).unwrap();
+        assert_eq!(&buf, b"NEW!", "the write itself still landed");
+        assert_eq!(a.take_cow_faults(), 1);
+        assert_eq!(a.take_cow_faults(), 0, "counter is take-once");
+        let o2 = a.write(0x10000, b"more").unwrap();
+        assert_eq!(o2.cow_faults, 0, "unprotected page writes freely");
+    }
+
+    #[test]
+    fn cow_drain_respects_chunk_size_and_skips_faulted_pages() {
+        let mut a = space_with_heap();
+        for p in 0..6u64 {
+            a.write(0x10000 + p * PS, &[p as u8; 4]).unwrap();
+        }
+        a.cow_protect(&[0x10, 0x11, 0x12, 0x13, 0x14, 0x15]);
+        a.write(0x12000, b"racer").unwrap(); // faults 0x12 out of the set
+        let c1 = a.cow_drain(2);
+        assert_eq!(
+            c1.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![0x10, 0x11]
+        );
+        let c2 = a.cow_drain(100);
+        assert_eq!(
+            c2.iter().map(|(v, _)| *v).collect::<Vec<_>>(),
+            vec![0x13, 0x14, 0x15],
+            "faulted page left the protected set"
+        );
+        assert_eq!(a.take_cow_staged().len(), 1);
+        assert_eq!(a.cow_protected_count(), 0);
     }
 
     #[test]

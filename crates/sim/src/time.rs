@@ -274,6 +274,34 @@ mod tests {
     }
 
     #[test]
+    fn meter_refund_edge_cases() {
+        let m = CostMeter::new();
+        // Zero refund is a no-op.
+        m.charge(40);
+        m.refund(0);
+        assert_eq!(m.peek(), 40);
+        assert_eq!(m.lifetime_total(), 40);
+        // Repeated refunds compose.
+        m.refund(10);
+        m.refund(10);
+        assert_eq!(m.peek(), 20);
+        assert_eq!(m.lifetime_total(), 20);
+        // A refund larger than the pending accumulator (after a take has
+        // drained it) saturates the pending side at zero while the lifetime
+        // total still absorbs the full amount.
+        assert_eq!(m.take(), 20);
+        m.charge(5);
+        m.refund(15);
+        assert_eq!(m.peek(), 0, "pending saturates");
+        assert_eq!(m.lifetime_total(), 10, "total absorbs the full refund");
+        // Refunding a meter that was never charged never underflows.
+        let fresh = CostMeter::new();
+        fresh.refund(100);
+        assert_eq!(fresh.peek(), 0);
+        assert_eq!(fresh.lifetime_total(), 0);
+    }
+
+    #[test]
     fn event_queue_orders_by_time_then_insertion() {
         let mut q = EventQueue::new();
         q.schedule(50, "b");

@@ -20,6 +20,21 @@ enum Op {
     Scan,
 }
 
+/// One step of the post-checkpoint race between the container (writes) and
+/// the background COW copier (chunked drains).
+#[derive(Debug, Clone)]
+enum RaceOp {
+    Write { page: u64 },
+    Drain { max: usize },
+}
+
+fn race_strategy() -> impl Strategy<Value = RaceOp> {
+    prop_oneof![
+        (0..PAGES).prop_map(|page| RaceOp::Write { page }),
+        (1..8usize).prop_map(|max| RaceOp::Drain { max }),
+    ]
+}
+
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0..PAGES, 0..4000u64, 1..64usize).prop_map(|(page, off, len)| Op::Write {
@@ -86,6 +101,94 @@ proptest! {
         }
         let dirty: BTreeSet<u64> = a.soft_dirty_vpns().into_iter().collect();
         prop_assert_eq!(dirty, model);
+    }
+
+    /// Invariant 7 under COW checkpointing: write-protecting the dirty set
+    /// and draining it in the background must not perturb soft-dirty
+    /// tracking — after `clear_refs`, the pagemap returns *exactly* the
+    /// pages written since, even when those writes race the copier. And
+    /// every protected page is copied out exactly once, with its
+    /// checkpoint-time contents (copy-before-write), no matter how the race
+    /// interleaves.
+    #[test]
+    fn cow_copier_race_preserves_tracking_model_and_checkpoint_contents(
+        pre in proptest::collection::vec((0..PAGES, any::<u8>()), 1..40),
+        race in proptest::collection::vec(race_strategy(), 1..100),
+    ) {
+        use std::collections::BTreeMap;
+        let mut a = space();
+
+        // Epoch body: dirty some pages, remembering each page's
+        // checkpoint-time tag (offset 500 stays zero until the race).
+        let mut checkpoint_tag: BTreeMap<u64, u8> = BTreeMap::new();
+        for &(page, tag) in &pre {
+            a.write(BASE + page * PAGE_SIZE as u64 + 11, &[tag]).unwrap();
+            checkpoint_tag.insert(BASE / PAGE_SIZE as u64 + page, tag);
+        }
+
+        // Pause: collect the dirty set, start a new tracking generation,
+        // and write-protect instead of copying.
+        let dirty: Vec<u64> = a.soft_dirty_vpns();
+        prop_assert_eq!(dirty.len(), checkpoint_tag.len());
+        a.clear_refs();
+        a.cow_protect(&dirty);
+
+        // Resume: container writes race the background copier.
+        let mut still_protected: BTreeSet<u64> = dirty.iter().copied().collect();
+        let mut raced: BTreeSet<u64> = BTreeSet::new();
+        let mut model_dirty: BTreeSet<u64> = BTreeSet::new();
+        let mut faults = 0u64;
+        let mut collected: BTreeMap<u64, Box<[u8; PAGE_SIZE]>> = BTreeMap::new();
+        let collect = |got: Vec<(u64, Box<[u8; PAGE_SIZE]>)>,
+                           collected: &mut BTreeMap<u64, Box<[u8; PAGE_SIZE]>>| {
+            for (vpn, snap) in got {
+                prop_assert!(collected.insert(vpn, snap).is_none(),
+                    "page {vpn} copied out twice");
+            }
+            Ok(())
+        };
+        for op in race {
+            match op {
+                RaceOp::Write { page } => {
+                    let vpn = BASE / PAGE_SIZE as u64 + page;
+                    let out = a.write(BASE + page * PAGE_SIZE as u64 + 500, &[0x5A]).unwrap();
+                    faults += u64::from(out.cow_faults);
+                    model_dirty.insert(vpn);
+                    if still_protected.remove(&vpn) {
+                        raced.insert(vpn);
+                    }
+                }
+                RaceOp::Drain { max } => {
+                    collect(a.take_cow_staged(), &mut collected)?;
+                    let got = a.cow_drain(max);
+                    for (vpn, _) in &got {
+                        prop_assert!(still_protected.remove(vpn),
+                            "drained a page that was not protected");
+                    }
+                    collect(got, &mut collected)?;
+                }
+            }
+        }
+        // Final drain: the copier always finishes before the next epoch.
+        collect(a.take_cow_staged(), &mut collected)?;
+        collect(a.cow_drain(usize::MAX), &mut collected)?;
+        prop_assert_eq!(a.cow_protected_count(), 0);
+
+        // Tracking model holds: exactly the racing writes are dirty.
+        let scanned: BTreeSet<u64> = a.soft_dirty_vpns().into_iter().collect();
+        prop_assert_eq!(&scanned, &model_dirty, "COW race perturbed soft-dirty tracking");
+
+        // Every protected page was copied out exactly once, and each copy
+        // holds checkpoint-time contents: the pre-race tag at offset 11 and
+        // a zero at offset 500 (racing writes never leak into the image).
+        prop_assert_eq!(faults as usize, raced.len(), "one fault per first racing write");
+        let copied: BTreeSet<u64> = collected.keys().copied().collect();
+        let expected: BTreeSet<u64> = checkpoint_tag.keys().copied().collect();
+        prop_assert_eq!(&copied, &expected);
+        for (vpn, snap) in &collected {
+            prop_assert_eq!(snap[11], checkpoint_tag[vpn], "stale tag in copied page");
+            prop_assert_eq!(snap[500], 0, "racing write leaked into the checkpoint copy");
+        }
     }
 
     #[test]

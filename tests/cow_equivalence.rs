@@ -1,0 +1,141 @@
+//! End-to-end equivalence of the copy-on-write checkpoint path.
+//!
+//! COW checkpointing changes *when* dirty pages are copied (in the
+//! background, after the container resumes), not *what* reaches the backup:
+//! the committed image must be byte-identical to the eager path after every
+//! epoch, composing with delta transfer and sharded dumps, and a failover
+//! injected mid-copy must fall back to the last fully-assembled epoch.
+
+use nilicon::{Checkpointer, NiLiConEngine, OptimizationConfig};
+use nilicon_container::{Container, ContainerRuntime, ContainerSpec, MemLayout};
+use nilicon_sim::kernel::Kernel;
+use nilicon_sim::PAGE_SIZE;
+
+type Script = dyn Fn(&mut Kernel, &Container, u64);
+
+/// Drive `epochs` checkpoint/commit cycles of a fixed write script plus one
+/// uncommitted tail epoch, fail over, and return `(total wire bytes,
+/// restored memory snapshot)`. `fail_after_chunks` aborts the tail epoch's
+/// COW drain after that many streamed chunks (no effect on eager runs).
+fn run_script(
+    tweak: &dyn Fn(&mut OptimizationConfig),
+    epochs: u64,
+    fail_after_chunks: Option<u64>,
+    script: &Script,
+) -> (u64, Vec<u8>) {
+    let mut p = Kernel::default();
+    let mut b = Kernel::default();
+    let mut spec = ContainerSpec::server("redis", 10, 6379);
+    spec.processes = 3;
+    let c = ContainerRuntime::create(&mut p, &spec).unwrap();
+    let mut opts = OptimizationConfig::nilicon();
+    tweak(&mut opts);
+    let mut e = NiLiConEngine::new(opts, p.costs.clone());
+    e.prepare(&mut p, &c).unwrap();
+
+    let mut wire_bytes = 0u64;
+    for epoch in 1..=epochs {
+        script(&mut p, &c, epoch);
+        let o = e.checkpoint(&mut p, &mut b, &c, epoch).unwrap();
+        wire_bytes += o.state_bytes;
+        e.commit(&mut b, epoch).unwrap();
+    }
+    // One more checkpoint that never gets acked — with `fail_after_chunks`
+    // the primary dies mid-copy and the backup holds a partial assembly.
+    script(&mut p, &c, epochs + 1);
+    e.cow_fail_after_chunks = fail_after_chunks;
+    e.checkpoint(&mut p, &mut b, &c, epochs + 1).unwrap();
+    if fail_after_chunks.is_some() {
+        // The aborted drain left pages write-protected: the container keeps
+        // running and its writes race the (dead) copier — the eager
+        // copy-before-write faults must not corrupt what the backup holds.
+        for page in 0..8u64 {
+            p.mem_write(c.init_pid(), MemLayout::heap_page(page), &[0xEE; 32])
+                .unwrap();
+        }
+    }
+
+    let (restored, _report) = e.failover(&mut b).unwrap();
+    restored.finish(&mut b).unwrap();
+
+    // Snapshot every heap page the script can have touched, across all
+    // worker pids.
+    let mut snapshot = Vec::new();
+    for pid in restored.container.workers.clone() {
+        for page in 0..64u64 {
+            let mut buf = vec![0u8; PAGE_SIZE];
+            if b.mem_read(pid, MemLayout::heap_page(page), &mut buf).is_ok() {
+                snapshot.extend_from_slice(&buf);
+            }
+        }
+    }
+    (wire_bytes, snapshot)
+}
+
+/// Every page class each epoch: sparse counter edits, fresh pages, dense
+/// rewrites, and a page scrubbed back to zeros.
+fn mixed_script(k: &mut Kernel, c: &Container, epoch: u64) {
+    let pid = c.init_pid();
+    k.mem_write(pid, MemLayout::heap(8), &epoch.to_le_bytes())
+        .unwrap();
+    k.mem_write(pid, MemLayout::heap_page(10 + epoch), &[epoch as u8; 128])
+        .unwrap();
+    k.mem_write(pid, MemLayout::heap_page(2), &vec![epoch as u8 | 1; PAGE_SIZE])
+        .unwrap();
+    let fill = if epoch.is_multiple_of(2) { 0u8 } else { 0xAB };
+    k.mem_write(pid, MemLayout::heap_page(3), &vec![fill; PAGE_SIZE])
+        .unwrap();
+}
+
+#[test]
+fn cow_committed_state_is_byte_identical_across_ten_epochs_and_failover() {
+    let (eager_bytes, eager_mem) = run_script(&|_| {}, 10, None, &mixed_script);
+    let (cow_bytes, cow_mem) = run_script(&|o| o.cow_checkpoint = true, 10, None, &mixed_script);
+
+    assert!(!eager_mem.is_empty(), "snapshot captured restored memory");
+    assert_eq!(
+        eager_mem, cow_mem,
+        "restored memory must be bit-for-bit identical across copy modes"
+    );
+    assert_eq!(
+        eager_bytes, cow_bytes,
+        "deferring the copy must not change what crosses the wire"
+    );
+}
+
+#[test]
+fn cow_composes_with_delta_and_sharded_dumps() {
+    let tweak = |o: &mut OptimizationConfig| {
+        o.cow_checkpoint = true;
+        o.delta_transfer = true;
+        o.dump_workers = 4;
+    };
+    let (eager_bytes, eager_mem) = run_script(&|_| {}, 12, None, &mixed_script);
+    let (cow_bytes, cow_mem) = run_script(&tweak, 12, None, &mixed_script);
+
+    assert!(!eager_mem.is_empty());
+    assert_eq!(
+        eager_mem, cow_mem,
+        "cow + delta + sharded dump diverged from the eager path"
+    );
+    assert!(
+        cow_bytes < eager_bytes,
+        "drain-time delta encoding still compresses: {cow_bytes} vs {eager_bytes}"
+    );
+}
+
+#[test]
+fn mid_copy_failover_falls_back_to_last_fully_assembled_epoch() {
+    // The eager run discards its uncommitted tail at failover; the COW run
+    // dies after a single streamed chunk of the tail epoch (pages 0..8 are
+    // then overwritten by racing container writes). Both must restore the
+    // same state: epoch 10's.
+    let (_, eager_mem) = run_script(&|_| {}, 10, None, &mixed_script);
+    let (_, cow_mem) = run_script(&|o| o.cow_checkpoint = true, 10, Some(1), &mixed_script);
+
+    assert!(!eager_mem.is_empty());
+    assert_eq!(
+        eager_mem, cow_mem,
+        "a mid-copy failure must fall back to the last fully-assembled epoch"
+    );
+}
