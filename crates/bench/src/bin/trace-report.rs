@@ -56,6 +56,12 @@ struct Section {
     cow_bytes: u64,
     cow_faults: u64,
     heartbeat_misses: u64,
+    discarded_packets: u64,
+    rearm_starts: u64,
+    bootstrap_chunks: u64,
+    bootstrap_pages: u64,
+    bootstrap_bytes: u64,
+    rearm_completes: u64,
     failovers: Vec<TraceEvent>,
 }
 
@@ -118,6 +124,14 @@ impl Section {
             TraceEvent::OutputRelease { packets } => self.released_packets += packets,
             TraceEvent::ClientDeliver { responses } => self.delivered_responses += responses,
             TraceEvent::HeartbeatMiss { .. } => self.heartbeat_misses += 1,
+            TraceEvent::OutputDiscard { packets } => self.discarded_packets += packets,
+            TraceEvent::RearmStart { .. } => self.rearm_starts += 1,
+            TraceEvent::BootstrapChunk { pages, bytes } => {
+                self.bootstrap_chunks += 1;
+                self.bootstrap_pages += pages;
+                self.bootstrap_bytes += bytes;
+            }
+            TraceEvent::RearmComplete { .. } => self.rearm_completes += 1,
             ev @ TraceEvent::Failover { .. } => self.failovers.push(ev),
             _ => {}
         }
@@ -221,6 +235,23 @@ impl Section {
         }
         if self.heartbeat_misses > 0 {
             println!("heartbeat misses: {}", self.heartbeat_misses);
+        }
+        if self.discarded_packets > 0 {
+            println!(
+                "output discarded at failover: {} packets (never released to clients)",
+                self.discarded_packets
+            );
+        }
+        if self.rearm_starts > 0 {
+            println!(
+                "re-replication: {} bootstrap attempt(s), {} completed; \
+                 {} chunks streamed ({} pages, {} B)",
+                self.rearm_starts,
+                self.rearm_completes,
+                self.bootstrap_chunks,
+                self.bootstrap_pages,
+                self.bootstrap_bytes,
+            );
         }
         for f in &self.failovers {
             if let TraceEvent::Failover {

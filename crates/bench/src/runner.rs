@@ -25,7 +25,9 @@ pub fn nilicon_mode(opts: OptimizationConfig) -> RunMode {
 /// `--delta` enables delta-encoded checkpoint transfer, `--dump-workers N`
 /// shards the per-process dump loop, `--cow` switches to copy-on-write
 /// checkpointing (dirty pages are write-protected at pause and copied out in
-/// the background — the stop phase shrinks, the copy moves to the ack path).
+/// the background — the stop phase shrinks, the copy moves to the ack path),
+/// and `--rearm` re-establishes redundancy after a failover by bootstrapping
+/// a replacement backup (the run then survives a second primary fault).
 /// With no flags present the row is returned untouched, so every table
 /// binary stays paper-faithful by default but can demo the extensions
 /// (visible in `trace-report`'s DeltaEncode/CowCopy phases and summary
@@ -38,6 +40,7 @@ pub fn apply_cli_extensions(
         match a.as_str() {
             "--delta" => opts.delta_transfer = true,
             "--cow" => opts.cow_checkpoint = true,
+            "--rearm" => opts.rearm = true,
             "--dump-workers" => {
                 opts.dump_workers = args
                     .next()
@@ -301,10 +304,11 @@ mod tests {
 
         let extended = apply_cli_extensions(
             base,
-            args(&["table1", "--delta", "--dump-workers", "4", "--cow"]).into_iter(),
+            args(&["table1", "--delta", "--dump-workers", "4", "--cow", "--rearm"]).into_iter(),
         );
         assert!(extended.delta_transfer);
         assert_eq!(extended.dump_workers, 4);
         assert!(extended.cow_checkpoint);
+        assert!(extended.rearm);
     }
 }

@@ -34,6 +34,29 @@ struct CowAssembly {
     expected_pages: u64,
     /// Pages received in chunks so far.
     received_pages: u64,
+    /// Chunks received so far.
+    received_chunks: u64,
+}
+
+/// What [`BackupAgent::discard_uncommitted`] threw away, per class — the
+/// observability counterpart of the failover's output-commit discards (a
+/// half-assembled COW epoch used to count as an opaque "1" no matter how many
+/// chunks it had accumulated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiscardCounts {
+    /// Fully-assembled pending epochs dropped (received but never acked).
+    pub epochs: usize,
+    /// Streamed chunks of a half-assembled COW epoch dropped.
+    pub chunks: usize,
+    /// Buffered DRBD disk writes dropped.
+    pub drbd: usize,
+}
+
+impl DiscardCounts {
+    /// True when nothing was discarded.
+    pub fn is_empty(&self) -> bool {
+        *self == DiscardCounts::default()
+    }
 }
 
 /// The backup agent's buffered replica state.
@@ -123,6 +146,7 @@ impl BackupAgent {
             img,
             expected_pages,
             received_pages: 0,
+            received_chunks: 0,
         });
         cpu
     }
@@ -149,6 +173,7 @@ impl BackupAgent {
         let cpu = self.costs.backup_recv(bytes, 1);
         self.cpu += cpu;
         asm.received_pages += (pages.len() + deltas.len()) as u64;
+        asm.received_chunks += 1;
         asm.img.pages.extend(pages);
         asm.img.page_deltas.extend(deltas);
         Ok(cpu)
@@ -249,16 +274,24 @@ impl BackupAgent {
     }
 
     /// Failover step 1: discard everything not committed (§IV: "the backup
-    /// agent discards any uncommitted state").
-    pub fn discard_uncommitted(&mut self) -> usize {
-        let n = self.pending.len() + self.assembling.is_some() as usize;
+    /// agent discards any uncommitted state"). Returns what was dropped,
+    /// per class.
+    pub fn discard_uncommitted(&mut self) -> DiscardCounts {
+        let epochs = self.pending.len();
         self.pending.clear();
         // A half-assembled COW epoch is by definition uncommitted: dropping
         // it means failover falls back to the last *fully-assembled*
         // committed epoch.
-        self.assembling = None;
-        self.drbd.discard_uncommitted();
-        n
+        let chunks = self
+            .assembling
+            .take()
+            .map_or(0, |a| a.received_chunks as usize);
+        let drbd = self.drbd.discard_uncommitted();
+        DiscardCounts {
+            epochs,
+            chunks,
+            drbd,
+        }
     }
 
     /// Failover step 2: materialize the merged committed state as one full
@@ -506,11 +539,54 @@ mod tests {
         a.begin_assembly(img(2, &[]), 2);
         a.ingest_chunk(2, vec![(Pid(1), 0x10, Box::new([99u8; PAGE_SIZE]))], vec![])
             .unwrap();
-        assert_eq!(a.discard_uncommitted(), 1);
+        let dropped = a.discard_uncommitted();
+        assert_eq!(
+            dropped,
+            DiscardCounts {
+                epochs: 0,
+                chunks: 1,
+                drbd: 0
+            }
+        );
         let full = a.materialize().unwrap();
         let p10 = full.pages.iter().find(|(_, v, _)| *v == 0x10).unwrap();
         assert_eq!(p10.2[0], 7, "failover falls back to the last full epoch");
         assert_eq!(a.committed_epoch(), Some(1));
+    }
+
+    #[test]
+    fn discard_counts_report_each_class() {
+        let mut a = agent();
+        // One fully-received (but unacked) epoch, one half-assembled COW
+        // epoch with three chunks, and two buffered disk writes + a barrier.
+        a.ingest(img(1, &[(1, 0x10, 1)]));
+        a.begin_assembly(img(2, &[]), 5);
+        for vpn in [0x20u64, 0x21, 0x22] {
+            a.ingest_chunk(2, vec![(Pid(1), vpn, Box::new([9u8; PAGE_SIZE]))], vec![])
+                .unwrap();
+        }
+        let w = nilicon_sim::block::DiskWrite {
+            ino: Ino(4),
+            page_idx: 0,
+            data: Box::new([0u8; PAGE_SIZE]),
+        };
+        a.ingest_drbd(vec![
+            DrbdMsg::Write(w.clone()),
+            DrbdMsg::Barrier(1),
+            DrbdMsg::Write(w),
+        ]);
+        let dropped = a.discard_uncommitted();
+        assert_eq!(
+            dropped,
+            DiscardCounts {
+                epochs: 1,
+                chunks: 3,
+                drbd: 2
+            }
+        );
+        assert!(!dropped.is_empty());
+        // Everything is gone: a second discard reports nothing.
+        assert!(a.discard_uncommitted().is_empty());
     }
 
     #[test]

@@ -59,6 +59,13 @@ pub struct OptimizationConfig {
     /// all land on the ack path; the epoch is acked only once every deferred
     /// page has reached the backup. Off in every paper reproduction run.
     pub cow_checkpoint: bool,
+    /// EXTENSION (HyCoR, arXiv:2101.09584; CRIU live migration): post-failover
+    /// re-replication — after a failover the promoted container keeps serving
+    /// while a replacement backup is bootstrapped online (full checkpoint
+    /// streamed in bounded chunks over the COW machinery, then incremental
+    /// epochs resume toward the new backup). The paper stops at a single
+    /// failover, so this is off in every paper reproduction run.
+    pub rearm: bool,
 }
 
 impl OptimizationConfig {
@@ -76,6 +83,7 @@ impl OptimizationConfig {
             delta_transfer: false,
             dump_workers: 1,
             cow_checkpoint: false,
+            rearm: false,
         }
     }
 
@@ -93,6 +101,7 @@ impl OptimizationConfig {
             delta_transfer: false,
             dump_workers: 1,
             cow_checkpoint: false,
+            rearm: false,
         }
     }
 
@@ -167,6 +176,17 @@ pub struct ReplicationConfig {
     pub heartbeat_misses: u32,
     /// Optimization toggles.
     pub opts: OptimizationConfig,
+    /// Re-replication only ([`OptimizationConfig::rearm`]): delay from the
+    /// end of failover recovery to the start of the replacement-backup
+    /// bootstrap (models provisioning the standby host).
+    pub rearm_delay: Nanos,
+    /// Re-replication only: base retry backoff after a bootstrap attempt is
+    /// killed by a standby fault; doubles per consecutive failed attempt.
+    pub rearm_backoff: Nanos,
+    /// Re-replication only: bootstrap streaming budget — at most this many
+    /// deferred pages are drained to the replacement backup per 30 ms epoch,
+    /// bounding the background bandwidth the bootstrap may take.
+    pub rearm_chunk_pages: u64,
 }
 
 impl Default for ReplicationConfig {
@@ -176,6 +196,9 @@ impl Default for ReplicationConfig {
             heartbeat_interval: 30 * MILLISECOND,
             heartbeat_misses: 3,
             opts: OptimizationConfig::nilicon(),
+            rearm_delay: 60 * MILLISECOND,
+            rearm_backoff: 120 * MILLISECOND,
+            rearm_chunk_pages: 256,
         }
     }
 }
@@ -235,6 +258,7 @@ mod tests {
             assert!(!cfg.delta_transfer);
             assert_eq!(cfg.dump_workers, 1);
             assert!(!cfg.cow_checkpoint);
+            assert!(!cfg.rearm);
             assert!(!cfg.dump_config().cow);
         }
         // The COW knob flows through to the CRIU dump config.
@@ -255,5 +279,10 @@ mod tests {
         assert_eq!(c.epoch_exec, 30 * MILLISECOND);
         assert_eq!(c.heartbeat_interval, 30 * MILLISECOND);
         assert_eq!(c.heartbeat_misses, 3);
+        // Re-replication pacing knobs exist but the knob itself is off.
+        assert!(!c.opts.rearm);
+        assert_eq!(c.rearm_delay, 60 * MILLISECOND);
+        assert_eq!(c.rearm_backoff, 120 * MILLISECOND);
+        assert_eq!(c.rearm_chunk_pages, 256);
     }
 }

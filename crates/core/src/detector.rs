@@ -10,6 +10,7 @@
 
 use crate::trace::{TraceEvent, Tracer};
 use nilicon_sim::time::Nanos;
+use nilicon_sim::{SimError, SimResult};
 
 /// Primary-side heartbeat gate: emit a beat only if cpuacct advanced.
 #[derive(Debug, Default)]
@@ -117,9 +118,33 @@ impl FailureDetector {
         self.detected_at
     }
 
-    /// Detection latency for a fault at `fault_time` (requires detection).
-    pub fn detection_latency(&self, fault_time: Nanos) -> Option<Nanos> {
-        self.detected_at.map(|d| d.saturating_sub(fault_time))
+    /// The first heartbeat-interval boundary strictly after `t` — the
+    /// earliest instant the backup can notice silence that began at `t`.
+    /// Detection polling must walk these boundaries: the detector only ever
+    /// changes state on its own beat grid, so probing on a grid offset from
+    /// it (e.g. stepping from the fault time) asks about instants where
+    /// nothing can happen.
+    pub fn next_boundary(&self, t: Nanos) -> Nanos {
+        if t <= self.last_beat {
+            return self.last_beat + self.interval;
+        }
+        let intervals = (t - self.last_beat).div_ceil(self.interval).max(1);
+        self.last_beat + intervals * self.interval
+    }
+
+    /// Detection latency for a fault at `fault_time` (None before
+    /// detection). A detection time *earlier* than the fault means the
+    /// detector carries stale state (e.g. it was not reset after a previous
+    /// failover) — that is a simulation bug, reported as a hard error rather
+    /// than silently clamped to zero.
+    pub fn detection_latency(&self, fault_time: Nanos) -> SimResult<Option<Nanos>> {
+        match self.detected_at {
+            None => Ok(None),
+            Some(d) if d < fault_time => Err(SimError::Invalid(format!(
+                "detection at {d}ns precedes the fault at {fault_time}ns: stale detector state"
+            ))),
+            Some(d) => Ok(Some(d - fault_time)),
+        }
     }
 }
 
@@ -153,7 +178,7 @@ mod tests {
         assert!(d.check(fault + 3 * MS30), "three misses: detected");
         assert_eq!(d.detected_at(), Some(fault + 3 * MS30));
         assert_eq!(
-            d.detection_latency(fault),
+            d.detection_latency(fault).unwrap(),
             Some(90 * MILLISECOND),
             "§VII-B: ~90ms"
         );
@@ -216,15 +241,43 @@ mod tests {
         let mut d = FailureDetector::new(MS30, 3, 0);
         d.on_beat(MS30);
         let fault = MS30 + 17 * MILLISECOND;
-        let mut t = fault;
+        // Poll on the detector's own beat grid.
+        let mut t = d.next_boundary(fault);
         while !d.check(t) {
-            t += MILLISECOND;
+            t += MS30;
         }
-        let lat = d.detection_latency(fault).unwrap();
+        let lat = d.detection_latency(fault).unwrap().unwrap();
         assert!(
             (73 * MILLISECOND..=120 * MILLISECOND).contains(&lat),
             "latency {}ms",
             lat / MILLISECOND
         );
+    }
+
+    #[test]
+    fn next_boundary_lands_on_the_beat_grid() {
+        let mut d = FailureDetector::new(MS30, 3, 0);
+        d.on_beat(5 * MS30);
+        // At or before the last beat: the following boundary.
+        assert_eq!(d.next_boundary(0), 6 * MS30);
+        assert_eq!(d.next_boundary(5 * MS30), 6 * MS30);
+        // Mid-interval: rounds up to the next boundary, never past it.
+        assert_eq!(d.next_boundary(5 * MS30 + 1), 6 * MS30);
+        assert_eq!(d.next_boundary(6 * MS30 - 1), 6 * MS30);
+        // Exactly on a later boundary: stays there.
+        assert_eq!(d.next_boundary(7 * MS30), 7 * MS30);
+    }
+
+    #[test]
+    fn detection_before_fault_is_a_hard_error() {
+        let mut d = FailureDetector::new(MS30, 3, 0);
+        assert!(d.check(3 * MS30));
+        // Asking about a fault *after* the (stale) detection must error, not
+        // silently report a 0ns latency.
+        assert!(d.detection_latency(4 * MS30).is_err());
+        assert_eq!(d.detection_latency(0).unwrap(), Some(3 * MS30));
+        // Undetected: no latency, no error.
+        let d2 = FailureDetector::new(MS30, 3, 0);
+        assert_eq!(d2.detection_latency(0).unwrap(), None);
     }
 }

@@ -5,7 +5,7 @@ use nilicon_container::Container;
 use nilicon_criu::RestoredContainer;
 use nilicon_sim::kernel::Kernel;
 use nilicon_sim::time::Nanos;
-use nilicon_sim::SimResult;
+use nilicon_sim::{SimError, SimResult};
 
 /// What one stop-phase checkpoint produced.
 #[derive(Debug, Clone, Copy, Default)]
@@ -47,6 +47,41 @@ impl FailoverReport {
     }
 }
 
+/// What starting a re-replication bootstrap produced
+/// ([`Checkpointer::bootstrap_begin`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BootstrapBegin {
+    /// Virtual time the container was stopped to write-protect its full
+    /// resident set (the COW protect pass — roughly one epoch's stop time,
+    /// not footprint-proportional).
+    pub stop_time: Nanos,
+    /// Deferred pages awaiting the background stream to the new backup.
+    pub total_pages: u64,
+    /// Metadata bytes of the full image (excluding the deferred pages).
+    pub state_bytes: u64,
+}
+
+/// One bounded streaming step of a re-replication bootstrap
+/// ([`Checkpointer::bootstrap_step`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BootstrapStep {
+    /// Pages drained and shipped this step.
+    pub pages: u64,
+    /// Bytes those pages carried on the wire.
+    pub bytes: u64,
+    /// Backup CPU consumed ingesting this step's chunks.
+    pub backup_cpu: Nanos,
+    /// Deferred pages still awaiting a later step (0 means the bootstrap
+    /// image is fully streamed and may be finished).
+    pub remaining: u64,
+}
+
+fn no_rearm<T>() -> SimResult<T> {
+    Err(SimError::Invalid(
+        "engine does not support re-replication".into(),
+    ))
+}
+
 /// A replication engine driven by the harness once per epoch.
 pub trait Checkpointer {
     /// Engine name for reports.
@@ -85,6 +120,59 @@ pub trait Checkpointer {
 
     /// Highest committed epoch (None before the first commit).
     fn committed_epoch(&self) -> Option<u64>;
+
+    /// Whether this engine can re-establish redundancy after a failover
+    /// (the `rearm` extension). Engines that return `false` keep the paper's
+    /// behavior: one failover permanently exhausts fault tolerance.
+    fn supports_rearm(&self) -> bool {
+        false
+    }
+
+    /// Reset replica-side state (the old backup died with its buffers) and
+    /// re-arm page tracking / output plugging on the promoted container, in
+    /// preparation for bootstrapping a replacement backup.
+    fn rearm_prepare(&mut self, _primary: &mut Kernel, _container: &Container) -> SimResult<()> {
+        no_rearm()
+    }
+
+    /// Start a re-replication bootstrap: take a *full* checkpoint of the
+    /// promoted container with the page copies deferred via COW, so the
+    /// container resumes after ~one epoch's stop time and the image streams
+    /// to the new backup in the background.
+    fn bootstrap_begin(
+        &mut self,
+        _primary: &mut Kernel,
+        _container: &Container,
+        _epoch: u64,
+    ) -> SimResult<BootstrapBegin> {
+        no_rearm()
+    }
+
+    /// Stream at most `max_pages` deferred pages of the bootstrap image to
+    /// the new backup. Called once per epoch while the bootstrap is active.
+    fn bootstrap_step(
+        &mut self,
+        _primary: &mut Kernel,
+        _epoch: u64,
+        _max_pages: u64,
+    ) -> SimResult<BootstrapStep> {
+        no_rearm()
+    }
+
+    /// All deferred pages arrived: seal and commit the bootstrap image on
+    /// the new backup. Returns backup CPU consumed by the commit. After this
+    /// the engine is ready for incremental [`Checkpointer::checkpoint`]
+    /// epochs again.
+    fn bootstrap_finish(&mut self, _backup: &mut Kernel, _epoch: u64) -> SimResult<Nanos> {
+        no_rearm()
+    }
+
+    /// The replacement backup died mid-bootstrap: unwind the COW protect set
+    /// on the primary and discard the half-assembled image so the promoted
+    /// container can continue unreplicated (the harness retries later).
+    fn bootstrap_abort(&mut self, _primary: &mut Kernel, _container: &Container) -> SimResult<()> {
+        no_rearm()
+    }
 }
 
 #[cfg(test)]

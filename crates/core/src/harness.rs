@@ -66,13 +66,42 @@ pub struct RunResult {
     pub failover: Option<FailoverReport>,
     /// Detection latency, if a fault was injected.
     pub detection_latency: Option<Nanos>,
-    /// Whether the run ended with the service healthy (no fault, or fault +
-    /// successful recovery).
+    /// Whether the service survived every injected fault: true iff no
+    /// injected fault went unrecovered (scheduled-but-never-fired faults
+    /// count as unrecovered — the run ended before proving survival).
     pub recovered: bool,
+    /// Completed failovers (0 or 1 in paper configurations; 2+ only with
+    /// the `rearm` extension).
+    pub failovers: u64,
+    /// Injected primary faults the service did not survive, plus any
+    /// scheduled faults that never fired.
+    pub unrecovered_faults: u64,
     /// Client connections broken by RST (§VII-A criterion: must be 0).
     pub broken_connections: u64,
     /// Workload self-validation (§VII-A).
     pub verify: Result<(), String>,
+}
+
+/// Where the re-replication extension stands (always `Idle` in paper
+/// configurations — every transition below is gated on
+/// [`Checkpointer::supports_rearm`]).
+#[derive(Debug, Clone, Copy)]
+enum RearmState {
+    /// No re-arm pending.
+    Idle,
+    /// A failover (or backup loss) happened; a bootstrap starts at `at`.
+    Scheduled { at: Nanos, attempt: u32 },
+    /// A replacement backup is ingesting the full bootstrap image in
+    /// bounded per-epoch chunks while the promoted container keeps serving.
+    Bootstrapping {
+        attempt: u32,
+        /// Epoch number the bootstrap image was taken at.
+        epoch: u64,
+        streamed_pages: u64,
+        streamed_bytes: u64,
+    },
+    /// Redundancy re-established: incremental epochs are running again.
+    Armed,
 }
 
 /// Deterministic SplitMix64 jitter in `[0, range)`.
@@ -108,10 +137,29 @@ pub struct RunHarness {
     receipts: HashMap<Endpoint, VecDeque<Nanos>>,
     sender: HeartbeatSender,
     detector: FailureDetector,
-    fault_at: Option<Nanos>,
+    /// Pending primary-host faults, in firing order.
+    faults: VecDeque<Nanos>,
+    /// Pending backup-host faults, in firing order.
+    backup_faults: VecDeque<Nanos>,
     failover_report: Option<FailoverReport>,
     detection_latency: Option<Nanos>,
     on_backup: bool,
+    /// Whether the run was constructed replicated (fault injection into a
+    /// stock run is a harness-usage error, even after degradation).
+    replicated_run: bool,
+    failovers: u64,
+    unrecovered_faults: u64,
+    /// The service is gone (unprotected fault): no further epochs run.
+    dead: bool,
+    rearm: RearmState,
+    /// The engine while it is not driving epochs (between a failover and
+    /// the completion of the re-replication bootstrap).
+    parked: Option<Box<dyn Checkpointer>>,
+    /// Completions produced during a bootstrap: their responses sit in the
+    /// plugged qdisc until the first post-re-arm epoch commits (the
+    /// bootstrap image predates them, so output commit must wait for the
+    /// first incremental checkpoint that covers them).
+    held: Vec<(Endpoint, Nanos)>,
     epoch: u64,
     rr: u64,
     batch_done: bool,
@@ -201,6 +249,7 @@ impl RunHarness {
 
         let interval = cfg.heartbeat_interval;
         let misses = cfg.heartbeat_misses;
+        let replicated_run = matches!(mode, RunMode::Replicated(_));
         Ok(RunHarness {
             cluster,
             primary,
@@ -218,10 +267,18 @@ impl RunHarness {
             receipts: HashMap::new(),
             sender: HeartbeatSender::new(),
             detector: FailureDetector::new(interval, misses, 0),
-            fault_at: None,
+            faults: VecDeque::new(),
+            backup_faults: VecDeque::new(),
             failover_report: None,
             detection_latency: None,
             on_backup: false,
+            replicated_run,
+            failovers: 0,
+            unrecovered_faults: 0,
+            dead: false,
+            rearm: RearmState::Idle,
+            parked: None,
+            held: Vec::new(),
             epoch: 0,
             rr: 0,
             batch_done: false,
@@ -243,9 +300,30 @@ impl RunHarness {
         self.tracer = tracer;
     }
 
-    /// Schedule a fail-stop fault at absolute virtual time `t` (§VII-A).
+    /// Schedule a fail-stop fault of the active host at absolute virtual
+    /// time `t` (§VII-A). May be called repeatedly: faults fire in time
+    /// order, and with the `rearm` extension a later fault exercises a
+    /// second failover onto the bootstrapped replacement backup.
     pub fn inject_fault_at(&mut self, t: Nanos) {
-        self.fault_at = Some(t);
+        let pos = self
+            .faults
+            .iter()
+            .position(|&f| f > t)
+            .unwrap_or(self.faults.len());
+        self.faults.insert(pos, t);
+    }
+
+    /// Schedule a fail-stop fault of the *backup* host at `t`. During a
+    /// re-replication bootstrap this kills the replacement (the bootstrap
+    /// aborts and retries with backoff); against a healthy replicated pair
+    /// it degrades the run to unreplicated.
+    pub fn inject_backup_fault_at(&mut self, t: Nanos) {
+        let pos = self
+            .backup_faults
+            .iter()
+            .position(|&f| f > t)
+            .unwrap_or(self.backup_faults.len());
+        self.backup_faults.insert(pos, t);
     }
 
     fn active_host(&self) -> HostId {
@@ -271,9 +349,21 @@ impl RunHarness {
         self.epoch
     }
 
-    /// Whether the run has failed over to the backup.
+    /// Whether the run has failed over at least once (the container now
+    /// lives on a host other than the original primary).
     pub fn on_backup(&self) -> bool {
-        self.on_backup
+        self.on_backup || self.failovers > 0
+    }
+
+    /// Completed failovers so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Whether the `rearm` extension has re-established redundancy after
+    /// the most recent failover (or backup loss).
+    pub fn rearmed(&self) -> bool {
+        matches!(self.rearm, RearmState::Armed)
     }
 
     // ------------------------------------------------------------------
@@ -352,19 +442,28 @@ impl RunHarness {
     // The epoch loop
     // ------------------------------------------------------------------
 
-    /// Run up to `n` epochs (stops early if a batch workload completes).
+    /// Run up to `n` epochs (stops early if a batch workload completes or
+    /// the service dies to an unprotected fault).
     pub fn run_epochs(&mut self, n: u64) -> SimResult<()> {
         for _ in 0..n {
-            if self.batch_done {
+            if self.batch_done || self.dead {
                 break;
             }
             let now = self.cluster.clock.now();
-            if let Some(f) = self.fault_at {
-                if !self.on_backup && f <= now + self.cfg.epoch_exec {
-                    self.do_failover(f.max(now))?;
-                    continue;
-                }
+            let horizon = now + self.cfg.epoch_exec;
+            let bf_due = self.backup_faults.front().is_some_and(|&t| t <= horizon);
+            let pf_due = self.faults.front().is_some_and(|&t| t <= horizon);
+            if bf_due && (!pf_due || self.backup_faults[0] <= self.faults[0]) {
+                let t = self.backup_faults.pop_front().expect("front checked");
+                self.handle_backup_fault(t.max(now))?;
+                continue;
             }
+            if pf_due {
+                let t = self.faults.pop_front().expect("front checked");
+                self.handle_primary_fault(t.max(now))?;
+                continue;
+            }
+            self.rearm_tick()?;
             self.run_one_epoch()?;
         }
         self.metrics.elapsed = self.cluster.clock.now();
@@ -480,22 +579,38 @@ impl RunHarness {
         let epoch = self.epoch;
         if matches!(self.mode, RunMode::Unreplicated) {
             self.cluster.pump();
-            let cl = self.cluster.host_mut(host).costs.client_link_latency;
-            for (remote, t_done) in completions {
-                self.receipts
-                    .entry(remote)
-                    .or_default()
-                    .push_back(t_done + cl);
+            if matches!(self.rearm, RearmState::Bootstrapping { .. }) {
+                // Responses stay in the plugged qdisc: the bootstrap image
+                // predates them, so they are only releasable once the first
+                // post-re-arm incremental checkpoint commits.
+                self.held.extend(completions);
+                self.metrics.push(EpochRecord {
+                    epoch,
+                    exec_cpu: consumed,
+                    tracking_overhead,
+                    requests_done,
+                    steps_done,
+                    ..Default::default()
+                });
+                self.bootstrap_step_epoch()?;
+            } else {
+                let cl = self.cluster.host_mut(host).costs.client_link_latency;
+                for (remote, t_done) in completions {
+                    self.receipts
+                        .entry(remote)
+                        .or_default()
+                        .push_back(t_done + cl);
+                }
+                self.client_collect(epoch_end)?;
+                self.metrics.push(EpochRecord {
+                    epoch,
+                    exec_cpu: consumed,
+                    tracking_overhead,
+                    requests_done,
+                    steps_done,
+                    ..Default::default()
+                });
             }
-            self.client_collect(epoch_end)?;
-            self.metrics.push(EpochRecord {
-                epoch,
-                exec_cpu: consumed,
-                tracking_overhead,
-                requests_done,
-                steps_done,
-                ..Default::default()
-            });
         } else {
             let outcome = {
                 let RunMode::Replicated(engine) = &mut self.mode else {
@@ -540,7 +655,10 @@ impl RunHarness {
                 .host_mut(self.primary)
                 .costs
                 .client_link_latency;
-            for (remote, t_done) in completions {
+            // Bootstrap-era completions (if any) ride this epoch's release:
+            // this is the first commit whose image covers them.
+            let held = std::mem::take(&mut self.held);
+            for (remote, t_done) in held.into_iter().chain(completions) {
                 let receipt = t_done.max(release_time) + cl;
                 self.receipts.entry(remote).or_default().push_back(receipt);
             }
@@ -583,6 +701,34 @@ impl RunHarness {
     // Failover
     // ------------------------------------------------------------------
 
+    /// A primary-host fault fired. Replicated: fail over. Unreplicated
+    /// after a failover (the paper path, or mid-bootstrap): the service is
+    /// lost. Unreplicated from the start: a harness-usage error.
+    fn handle_primary_fault(&mut self, fault_time: Nanos) -> SimResult<()> {
+        if matches!(self.mode, RunMode::Replicated(_)) {
+            return self.do_failover(fault_time);
+        }
+        if !self.replicated_run {
+            return Err(SimError::Invalid(
+                "fault injected into an unreplicated run".into(),
+            ));
+        }
+        // No live backup (fault tolerance exhausted, or mid-bootstrap):
+        // everything still plugged or queued dies with the host.
+        self.cluster.clock.advance_to(fault_time);
+        self.cluster.partition(self.active_host());
+        let discarded = (self.pending.len() + self.held.len()) as u64;
+        self.tracer.event_at(
+            TraceEvent::OutputDiscard { packets: discarded },
+            fault_time,
+        );
+        self.pending.clear();
+        self.held.clear();
+        self.unrecovered_faults += 1;
+        self.dead = true;
+        Ok(())
+    }
+
     fn do_failover(&mut self, fault_time: Nanos) -> SimResult<()> {
         if matches!(self.mode, RunMode::Unreplicated) {
             return Err(SimError::Invalid(
@@ -593,14 +739,19 @@ impl RunHarness {
         self.cluster.clock.advance_to(fault_time);
         self.cluster.partition(self.primary);
 
-        // Detection.
-        let mut t = fault_time;
+        // Detection: the detector only changes state on its own heartbeat
+        // grid, so poll along the beat boundaries.
+        let mut t = self.detector.next_boundary(fault_time);
         while !self.detector.check(t) {
             t += self.cfg.heartbeat_interval;
         }
         let detected = self.detector.detected_at().expect("check returned true");
         self.cluster.clock.advance_to(detected.max(fault_time));
-        self.detection_latency = Some(detected.saturating_sub(fault_time));
+        let latency = self
+            .detector
+            .detection_latency(fault_time)?
+            .expect("check returned true");
+        self.detection_latency = Some(latency);
 
         // Failover on the backup.
         let (restored, report) = {
@@ -631,12 +782,19 @@ impl RunHarness {
         }
 
         // Uncommitted driver-side buffers are garbage now: the clients will
-        // retransmit anything the committed state has not consumed.
+        // retransmit anything the committed state has not consumed. Held
+        // bootstrap-era completions were never released — discarded too.
+        let discarded = (self.pending.len() + self.held.len()) as u64;
+        self.tracer.event_at(
+            TraceEvent::OutputDiscard { packets: discarded },
+            self.cluster.clock.now(),
+        );
         self.pending.clear();
+        self.held.clear();
 
         self.tracer.event_at(
             TraceEvent::Failover {
-                detection_latency: detected.saturating_sub(fault_time),
+                detection_latency: latency,
                 restore: report.restore,
                 arp: report.arp,
                 tcp: report.tcp,
@@ -646,8 +804,12 @@ impl RunHarness {
         );
 
         self.container = restored.container;
-        self.on_backup = true;
         self.failover_report = Some(report);
+        self.failovers += 1;
+        // The promoted host's cgroup accounting starts from zero: without a
+        // fresh sender, `tick` would never see progress and the re-armed
+        // detector would starve.
+        self.sender = HeartbeatSender::new();
 
         // Retransmissions: restored server sockets re-send unacked
         // responses (§V-E); clients re-send unacked requests.
@@ -664,10 +826,209 @@ impl RunHarness {
         let now = self.cluster.clock.now();
         self.client_collect(now)?;
 
-        // Continue unreplicated on the backup (the paper does not re-arm
-        // replication after failover).
-        self.mode = RunMode::Unreplicated;
+        let supports_rearm = match &self.mode {
+            RunMode::Replicated(engine) => engine.supports_rearm(),
+            RunMode::Unreplicated => false,
+        };
+        if supports_rearm {
+            // Rearm extension: the promoted host becomes the new primary
+            // (role swap keeps `active_host` and any later failover on the
+            // unmodified code path); the engine parks until a replacement
+            // backup is bootstrapped.
+            let RunMode::Replicated(engine) =
+                std::mem::replace(&mut self.mode, RunMode::Unreplicated)
+            else {
+                unreachable!()
+            };
+            self.parked = Some(engine);
+            std::mem::swap(&mut self.primary, &mut self.backup);
+            self.rearm = RearmState::Scheduled {
+                at: now + self.cfg.rearm_delay,
+                attempt: 0,
+            };
+        } else {
+            // Continue unreplicated on the backup (the paper does not
+            // re-arm replication after failover).
+            self.mode = RunMode::Unreplicated;
+            self.on_backup = true;
+        }
         self.epoch += 1;
+        Ok(())
+    }
+
+    /// A backup-host fault fired: abort an in-flight bootstrap (and retry
+    /// with exponential backoff), or degrade a healthy replicated pair to
+    /// unreplicated service.
+    fn handle_backup_fault(&mut self, t: Nanos) -> SimResult<()> {
+        self.cluster.clock.advance_to(t);
+        if let RearmState::Bootstrapping { attempt, .. } = self.rearm {
+            // The replacement died mid-bootstrap: unwind the COW set, drop
+            // the half-assembled image, keep serving, retry later.
+            self.cluster.partition(self.backup);
+            {
+                let engine = self.parked.as_mut().expect("bootstrapping without an engine");
+                engine.bootstrap_abort(self.cluster.host_mut(self.primary), &self.container)?;
+            }
+            self.release_plugged_output(t)?;
+            let backoff = self
+                .cfg
+                .rearm_backoff
+                .saturating_mul(1u64 << attempt.min(16));
+            self.rearm = RearmState::Scheduled {
+                at: t + backoff,
+                attempt: attempt + 1,
+            };
+            return Ok(());
+        }
+        if matches!(self.mode, RunMode::Replicated(_)) {
+            self.cluster.partition(self.backup);
+            let RunMode::Replicated(engine) =
+                std::mem::replace(&mut self.mode, RunMode::Unreplicated)
+            else {
+                unreachable!()
+            };
+            self.release_plugged_output(t)?;
+            if engine.supports_rearm() {
+                self.parked = Some(engine);
+                self.rearm = RearmState::Scheduled {
+                    at: t + self.cfg.rearm_delay,
+                    attempt: 0,
+                };
+            }
+            return Ok(());
+        }
+        Err(SimError::Invalid(
+            "backup fault injected with no live backup".into(),
+        ))
+    }
+
+    /// Replication is gone (backup lost): output commit is moot, so unplug
+    /// the qdisc, release everything held, and deliver to clients.
+    fn release_plugged_output(&mut self, t: Nanos) -> SimResult<()> {
+        let ns = self.container.ns.net;
+        let host = self.active_host();
+        let stack = self.cluster.host_mut(host).stack_mut(ns)?;
+        let released = stack.release_output();
+        stack.plugged = false;
+        self.tracer.event_at(
+            TraceEvent::OutputRelease {
+                packets: released as u64,
+            },
+            t,
+        );
+        self.cluster.pump();
+        let cl = self.cluster.host_mut(host).costs.client_link_latency;
+        let held = std::mem::take(&mut self.held);
+        for (remote, t_done) in held {
+            self.receipts
+                .entry(remote)
+                .or_default()
+                .push_back(t_done.max(t) + cl);
+        }
+        self.client_collect(t)?;
+        Ok(())
+    }
+
+    /// Start a scheduled bootstrap once its time arrives.
+    fn rearm_tick(&mut self) -> SimResult<()> {
+        if let RearmState::Scheduled { at, attempt } = self.rearm {
+            if at <= self.cluster.clock.now() {
+                self.begin_bootstrap(attempt)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Provision a fresh replacement host and take the full COW-deferred
+    /// bootstrap checkpoint (one stop of roughly an incremental epoch's
+    /// length); the page payload then streams in bounded per-epoch chunks.
+    fn begin_bootstrap(&mut self, attempt: u32) -> SimResult<()> {
+        let now = self.cluster.clock.now();
+        self.backup = self.cluster.add_host(Kernel::default());
+        let mut engine = self
+            .parked
+            .take()
+            .expect("rearm scheduled with no parked engine");
+        engine.set_tracer(self.tracer.clone());
+        engine.rearm_prepare(self.cluster.host_mut(self.primary), &self.container)?;
+        self.cluster.host_mut(self.primary).meter.take();
+        self.tracer
+            .event_at(TraceEvent::RearmStart { attempt }, now);
+        let begin = engine.bootstrap_begin(
+            self.cluster.host_mut(self.primary),
+            &self.container,
+            self.epoch,
+        )?;
+        self.cluster.clock.advance(begin.stop_time);
+        self.last_stop = begin.stop_time;
+        self.rearm = RearmState::Bootstrapping {
+            attempt,
+            epoch: self.epoch,
+            streamed_pages: 0,
+            streamed_bytes: 0,
+        };
+        self.parked = Some(engine);
+        Ok(())
+    }
+
+    /// One bounded chunk of the bootstrap stream (runs at the end of each
+    /// epoch while a bootstrap is active). When the last deferred page
+    /// lands, the image commits on the replacement and incremental epochs
+    /// resume with a fresh failure detector.
+    fn bootstrap_step_epoch(&mut self) -> SimResult<()> {
+        let RearmState::Bootstrapping {
+            attempt,
+            epoch,
+            streamed_pages,
+            streamed_bytes,
+        } = self.rearm
+        else {
+            return Ok(());
+        };
+        let step = {
+            let engine = self.parked.as_mut().expect("bootstrapping without an engine");
+            engine.bootstrap_step(
+                self.cluster.host_mut(self.primary),
+                epoch,
+                self.cfg.rearm_chunk_pages,
+            )?
+        };
+        let now = self.cluster.clock.now();
+        if step.pages > 0 {
+            self.tracer.event_at(
+                TraceEvent::BootstrapChunk {
+                    pages: step.pages,
+                    bytes: step.bytes,
+                },
+                now,
+            );
+        }
+        let pages = streamed_pages + step.pages;
+        let bytes = streamed_bytes + step.bytes;
+        if step.remaining == 0 {
+            {
+                let engine = self.parked.as_mut().expect("bootstrapping without an engine");
+                engine.bootstrap_finish(self.cluster.host_mut(self.backup), epoch)?;
+            }
+            let engine = self.parked.take().expect("just used");
+            self.mode = RunMode::Replicated(engine);
+            self.rearm = RearmState::Armed;
+            self.detector = FailureDetector::new(
+                self.cfg.heartbeat_interval,
+                self.cfg.heartbeat_misses,
+                now,
+            );
+            self.detector.set_tracer(self.tracer.clone());
+            self.tracer
+                .event_at(TraceEvent::RearmComplete { pages, bytes }, now);
+        } else {
+            self.rearm = RearmState::Bootstrapping {
+                attempt,
+                epoch,
+                streamed_pages: pages,
+                streamed_bytes: bytes,
+            };
+        }
         Ok(())
     }
 
@@ -683,12 +1044,17 @@ impl RunHarness {
             Some(b) => b.verify(),
             None => Ok(()),
         };
-        let recovered = self.fault_at.is_none() || self.on_backup;
+        // A scheduled fault that never fired is unproven survival: the old
+        // `recovered` semantics (fault pending + still on the primary =
+        // not recovered) are preserved by counting it against the run.
+        let unrecovered = self.unrecovered_faults + self.faults.len() as u64;
         RunResult {
             metrics: self.metrics,
             failover: self.failover_report,
             detection_latency: self.detection_latency,
-            recovered,
+            recovered: unrecovered == 0,
+            failovers: self.failovers,
+            unrecovered_faults: unrecovered,
             broken_connections: broken,
             verify,
         }

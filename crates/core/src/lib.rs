@@ -93,9 +93,10 @@ pub mod nilicon_engine;
 pub mod trace;
 pub mod traffic;
 
+pub use backup::DiscardCounts;
 pub use config::{OptimizationConfig, ReplicationConfig};
 pub use detector::FailureDetector;
-pub use engine::{CheckpointOutcome, Checkpointer, FailoverReport};
+pub use engine::{BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport};
 pub use harness::{RunHarness, RunMode, RunResult};
 pub use metrics::{percentile, EpochRecord, RunMetrics};
 pub use nilicon_engine::NiLiConEngine;

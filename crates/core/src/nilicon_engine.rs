@@ -2,12 +2,12 @@
 
 use crate::backup::BackupAgent;
 use crate::config::OptimizationConfig;
-use crate::engine::{CheckpointOutcome, Checkpointer, FailoverReport};
+use crate::engine::{BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport};
 use crate::trace::{TraceEvent, Tracer};
 use nilicon_container::Container;
 use nilicon_criu::{
-    dump_container, CheckpointImage, DeltaStats, InfrequentCache, PageKey, RestoreConfig,
-    RestoredContainer, ShadowStore,
+    bootstrap_dump, dump_container, CheckpointImage, DeltaStats, InfrequentCache, PageKey,
+    RestoreConfig, RestoredContainer, ShadowStore,
 };
 use nilicon_drbd::{DrbdMsg, DrbdPrimary};
 use nilicon_sim::ids::Pid;
@@ -29,6 +29,15 @@ pub struct NiLiConEngine {
     shadow: ShadowStore,
     prepared: bool,
     tracer: Tracer,
+    /// Cost model retained so `rearm_prepare` can rebuild the replica-side
+    /// structures (a replacement backup starts from an empty agent).
+    costs: nilicon_sim::CostModel,
+    /// Address spaces still holding COW-deferred bootstrap pages (empty
+    /// outside an active re-replication bootstrap).
+    bootstrap_pids: Vec<Pid>,
+    /// Backup CPU charged by `bootstrap_begin` (metadata + DRBD resync
+    /// receive), carried into the first `bootstrap_step`'s accounting.
+    bootstrap_cpu_carry: Nanos,
     /// Test-only fault injection: abort the COW drain after this many page
     /// chunks have been streamed, as if the primary died mid-copy. The
     /// epoch's assembly is never finished at the backup, so it can never be
@@ -52,11 +61,14 @@ impl NiLiConEngine {
         NiLiConEngine {
             opts,
             cache: InfrequentCache::new(),
-            agent: BackupAgent::new(costs, opts.optimize_criu),
+            agent: BackupAgent::new(costs.clone(), opts.optimize_criu),
             drbd: DrbdPrimary::new(),
             shadow: ShadowStore::new(),
             prepared: false,
             tracer: Tracer::disabled(),
+            costs,
+            bootstrap_pids: Vec::new(),
+            bootstrap_cpu_carry: 0,
             cow_fail_after_chunks: None,
         }
     }
@@ -469,6 +481,162 @@ impl Checkpointer for NiLiConEngine {
     fn committed_epoch(&self) -> Option<u64> {
         self.agent.committed_epoch()
     }
+
+    fn supports_rearm(&self) -> bool {
+        self.opts.rearm
+    }
+
+    fn rearm_prepare(&mut self, primary: &mut Kernel, container: &Container) -> SimResult<()> {
+        // The old backup died with its buffers: every replica-side structure
+        // restarts empty, and the delta shadow is stale (the replacement has
+        // no base image to patch against).
+        self.cache = InfrequentCache::new();
+        self.agent = BackupAgent::new(self.costs.clone(), self.opts.optimize_criu);
+        self.drbd = DrbdPrimary::new();
+        self.shadow = ShadowStore::new();
+        self.bootstrap_pids.clear();
+        self.bootstrap_cpu_carry = 0;
+        self.prepared = false;
+        self.prepare(primary, container)
+    }
+
+    fn bootstrap_begin(
+        &mut self,
+        primary: &mut Kernel,
+        container: &Container,
+        epoch: u64,
+    ) -> SimResult<BootstrapBegin> {
+        if !self.prepared {
+            return Err(SimError::Invalid("engine not prepared for bootstrap".into()));
+        }
+        let cfg = self.opts.dump_config();
+        primary.meter.take();
+
+        // Stop phase: freeze + block input, full dump with the page copies
+        // deferred via COW, DRBD full-device snapshot, resume. The container
+        // pauses for roughly one incremental epoch's stop time even though
+        // the entire image is being captured.
+        primary.freeze_cgroup(container.cgroup, cfg.freeze)?;
+        let block_cost = if self.opts.plug_input_blocking {
+            primary.costs.plug_block_cycle
+        } else {
+            primary.costs.firewall_block_cycle
+        };
+        primary.meter.charge(block_cost);
+        primary.stack_mut(container.ns.net)?.block_input();
+
+        let cache = if self.opts.cache_infrequent {
+            Some(&mut self.cache)
+        } else {
+            None
+        };
+        let mut img = bootstrap_dump(primary, container, &cfg, cache, epoch)?;
+
+        // The write log only covers history the dead backup already had; the
+        // full-device snapshot below supersedes it.
+        let _ = primary.vfs.disk.take_writes();
+        let mut msgs: Vec<DrbdMsg> = primary
+            .vfs
+            .disk
+            .full_sync_writes()
+            .into_iter()
+            .map(DrbdMsg::Write)
+            .collect();
+        msgs.push(self.drbd.barrier(epoch));
+
+        primary.stack_mut(container.ns.net)?.unblock_input();
+        primary.thaw_cgroup(container.cgroup)?;
+        let stop_time = primary.meter.take();
+
+        let deferred = std::mem::take(&mut img.deferred_vpns);
+        let total_pages = deferred.len() as u64;
+        let state_bytes = img.state_bytes();
+        self.bootstrap_pids.clear();
+        for &(pid, _) in &deferred {
+            if !self.bootstrap_pids.contains(&pid) {
+                self.bootstrap_pids.push(pid);
+            }
+        }
+        self.bootstrap_cpu_carry = self.agent.begin_assembly(img, total_pages);
+        self.bootstrap_cpu_carry += self.agent.ingest_drbd(msgs);
+        Ok(BootstrapBegin {
+            stop_time,
+            total_pages,
+            state_bytes,
+        })
+    }
+
+    fn bootstrap_step(
+        &mut self,
+        primary: &mut Kernel,
+        epoch: u64,
+        max_pages: u64,
+    ) -> SimResult<BootstrapStep> {
+        /// Pages per streamed message, matching `cow_stream`'s batch size.
+        const COW_CHUNK: usize = 64;
+        let mut pages = 0u64;
+        let mut bytes = 0u64;
+        let mut backup_cpu = std::mem::take(&mut self.bootstrap_cpu_carry);
+        let pids = self.bootstrap_pids.clone();
+        'drain: for &pid in &pids {
+            loop {
+                if pages >= max_pages {
+                    break 'drain;
+                }
+                let want = ((max_pages - pages) as usize).min(COW_CHUNK);
+                let chunk = primary.cow_drain_pages(pid, want)?;
+                if chunk.is_empty() {
+                    break;
+                }
+                let n = chunk.len() as u64;
+                let batch: Vec<_> = chunk.into_iter().map(|(vpn, d)| (pid, vpn, d)).collect();
+                backup_cpu += self.agent.ingest_chunk(epoch, batch, Vec::new())?;
+                pages += n;
+                bytes += n * PAGE_SIZE as u64;
+            }
+        }
+        let mut remaining = 0u64;
+        for &pid in &pids {
+            primary.take_cow_faults(pid)?;
+            remaining += primary.cow_pending(pid)? as u64;
+        }
+        // The drain rides the background thread: it must not bill the next
+        // exec phase's interval meter.
+        primary.meter.take();
+        Ok(BootstrapStep {
+            pages,
+            bytes,
+            backup_cpu,
+            remaining,
+        })
+    }
+
+    fn bootstrap_finish(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos> {
+        self.agent.finish_assembly(epoch)?;
+        if !self.agent.epoch_complete(epoch) {
+            return Err(SimError::Invalid(format!(
+                "bootstrap epoch {epoch} sealed without its disk barrier"
+            )));
+        }
+        let cpu = self.agent.commit(epoch, &mut backup.vfs.disk)?;
+        self.bootstrap_pids.clear();
+        Ok(cpu)
+    }
+
+    fn bootstrap_abort(&mut self, primary: &mut Kernel, _container: &Container) -> SimResult<()> {
+        // Unwind the COW protect set — drain every deferred page to nowhere
+        // so the promoted container stops write-faulting — and drop the
+        // half-assembled image with the dead replacement.
+        let pids = std::mem::take(&mut self.bootstrap_pids);
+        for &pid in &pids {
+            while !primary.cow_drain_pages(pid, 64)?.is_empty() {}
+            primary.take_cow_faults(pid)?;
+        }
+        primary.meter.take();
+        self.bootstrap_cpu_carry = 0;
+        let _ = self.agent.discard_uncommitted();
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -716,6 +884,144 @@ mod tests {
             .unwrap();
         assert_eq!(&buf, b"committed", "fell back to the last full epoch");
         assert_eq!(e.committed_epoch(), Some(1));
+    }
+
+    #[test]
+    fn rearmed_backup_image_matches_always_replicated_run() {
+        // Equivalence: a backup bootstrapped mid-run via the re-replication
+        // path must end up with a committed image byte-identical to a backup
+        // that was replicated from the start, given the same writes.
+        let writes = |epoch: u64| -> Vec<(u64, u8)> {
+            vec![(epoch % 7, epoch as u8), (10 + epoch, 0xA0 | epoch as u8)]
+        };
+        let apply = |p: &mut Kernel, c: &Container, epoch: u64| {
+            for (page, val) in writes(epoch) {
+                p.mem_write(c.init_pid(), MemLayout::heap_page(page), &[val])
+                    .unwrap();
+            }
+        };
+        // Give the container a working set large enough that the bootstrap
+        // image spans several bounded chunks (the per-step cap below is 64).
+        let warm = |p: &mut Kernel, c: &Container| {
+            for page in 20..220u64 {
+                p.mem_write(c.init_pid(), MemLayout::heap_page(page), &[page as u8])
+                    .unwrap();
+            }
+        };
+        let mut opts = OptimizationConfig::nilicon();
+        opts.rearm = true;
+
+        // Run A: continuously replicated, epochs 1..=6.
+        let mut pa = Kernel::default();
+        let mut ba = Kernel::default();
+        let ca = ContainerRuntime::create(&mut pa, &ContainerSpec::server("redis", 10, 6379))
+            .unwrap();
+        let mut ea = NiLiConEngine::new(opts, pa.costs.clone());
+        ea.prepare(&mut pa, &ca).unwrap();
+        warm(&mut pa, &ca);
+        for epoch in 1..=6u64 {
+            apply(&mut pa, &ca, epoch);
+            ea.checkpoint(&mut pa, &mut ba, &ca, epoch).unwrap();
+            ea.commit(&mut ba, epoch).unwrap();
+        }
+        let img_a = ea.agent.materialize().unwrap();
+
+        // Run B: same writes; the original backup dies after epoch 3, a
+        // replacement is bootstrapped (epoch-4 writes land while the image
+        // streams — COW must preserve the pre-write content), and epochs
+        // 5..=6 run incrementally against the replacement.
+        let mut pb = Kernel::default();
+        let mut bb = Kernel::default();
+        let cb = ContainerRuntime::create(&mut pb, &ContainerSpec::server("redis", 10, 6379))
+            .unwrap();
+        let mut eb = NiLiConEngine::new(opts, pb.costs.clone());
+        eb.prepare(&mut pb, &cb).unwrap();
+        warm(&mut pb, &cb);
+        for epoch in 1..=3u64 {
+            apply(&mut pb, &cb, epoch);
+            eb.checkpoint(&mut pb, &mut bb, &cb, epoch).unwrap();
+            eb.commit(&mut bb, epoch).unwrap();
+        }
+        let mut b2 = Kernel::default(); // the replacement backup
+        eb.rearm_prepare(&mut pb, &cb).unwrap();
+        let begin = eb.bootstrap_begin(&mut pb, &cb, 4).unwrap();
+        assert!(begin.total_pages > 0, "full image deferred via COW");
+        apply(&mut pb, &cb, 4); // mutate mid-stream
+        let mut chunks = 0;
+        loop {
+            let step = eb.bootstrap_step(&mut pb, 4, 64).unwrap();
+            chunks += 1;
+            if step.remaining == 0 {
+                break;
+            }
+            assert!(chunks < 10_000, "bootstrap must terminate");
+        }
+        assert!(chunks > 1, "image streamed across multiple bounded steps");
+        eb.bootstrap_finish(&mut b2, 4).unwrap();
+        assert_eq!(eb.committed_epoch(), Some(4));
+        for epoch in 5..=6u64 {
+            apply(&mut pb, &cb, epoch);
+            eb.checkpoint(&mut pb, &mut b2, &cb, epoch).unwrap();
+            eb.commit(&mut b2, epoch).unwrap();
+        }
+        let img_b = eb.agent.materialize().unwrap();
+
+        assert_eq!(img_a.pages.len(), img_b.pages.len(), "same page set");
+        for (x, y) in img_a.pages.iter().zip(img_b.pages.iter()) {
+            assert_eq!((x.0, x.1), (y.0, y.1));
+            assert_eq!(x.2, y.2, "page {:?}/{:#x} diverged", x.0, x.1);
+        }
+        assert_eq!(
+            ba.vfs.disk.digest(),
+            b2.vfs.disk.digest(),
+            "replica disks identical"
+        );
+    }
+
+    #[test]
+    fn bootstrap_abort_unwinds_the_cow_set() {
+        let (mut p, mut b, c, e) = setup();
+        let mut opts = OptimizationConfig::nilicon();
+        opts.rearm = true;
+        let mut e2 = NiLiConEngine::new(opts, p.costs.clone());
+        assert!(!e.supports_rearm(), "paper rows never re-arm");
+        assert!(e2.supports_rearm());
+        e2.prepare(&mut p, &c).unwrap();
+        // Resident footprint larger than the 16-page step cap used below.
+        for page in 0..40u64 {
+            p.mem_write(c.init_pid(), MemLayout::heap_page(page), &[3])
+                .unwrap();
+        }
+        e2.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e2.commit(&mut b, 1).unwrap();
+
+        e2.rearm_prepare(&mut p, &c).unwrap();
+        let begin = e2.bootstrap_begin(&mut p, &c, 2).unwrap();
+        assert!(begin.total_pages > 0);
+        let step = e2.bootstrap_step(&mut p, 2, 16).unwrap();
+        assert_eq!(step.pages, 16, "chunk bound respected");
+        assert!(step.remaining > 0);
+        e2.bootstrap_abort(&mut p, &c).unwrap();
+        // All COW protections are gone: writes proceed without faulting new
+        // copies, and a later bootstrap starts from scratch.
+        for pid in c.all_pids() {
+            assert_eq!(p.cow_pending(pid).unwrap(), 0, "pid {pid:?} unwound");
+        }
+        assert!(
+            !e2.agent.epoch_complete(2),
+            "the half-assembled image was dropped"
+        );
+        // A fresh attempt after the abort still works end-to-end.
+        e2.rearm_prepare(&mut p, &c).unwrap();
+        let mut b3 = Kernel::default();
+        e2.bootstrap_begin(&mut p, &c, 3).unwrap();
+        loop {
+            if e2.bootstrap_step(&mut p, 3, 256).unwrap().remaining == 0 {
+                break;
+            }
+        }
+        e2.bootstrap_finish(&mut b3, 3).unwrap();
+        assert_eq!(e2.committed_epoch(), Some(3));
     }
 
     #[test]

@@ -192,6 +192,39 @@ pub enum TraceEvent {
         /// allowance, 3 in the paper).
         misses: u32,
     },
+    /// Buffered output discarded at failover (output commit, §II-A: packets
+    /// not yet released when the primary died must never reach clients, since
+    /// the state that produced them was lost). Emitted at the fault time,
+    /// before the failover record.
+    OutputDiscard {
+        /// Buffered packets dropped.
+        packets: u64,
+    },
+    /// Re-replication bootstrap started toward a freshly provisioned
+    /// replacement backup (`rearm` extension; `attempt > 0` after a
+    /// fault-during-bootstrap retry).
+    RearmStart {
+        /// Zero-based bootstrap attempt number.
+        attempt: u32,
+    },
+    /// One bounded background chunk of the bootstrap image streamed to the
+    /// replacement backup (`rearm` extension; marker — the stream overlaps
+    /// execution and is not an epoch phase).
+    BootstrapChunk {
+        /// Deferred pages drained and shipped this epoch.
+        pages: u64,
+        /// Bytes those pages carried on the wire.
+        bytes: u64,
+    },
+    /// The bootstrap image is fully streamed and committed: incremental
+    /// epochs, output commit, heartbeats, and DRBD replication are re-armed
+    /// toward the replacement backup (`rearm` extension).
+    RearmComplete {
+        /// Total deferred pages streamed by the bootstrap.
+        pages: u64,
+        /// Total bytes the bootstrap stream put on the wire.
+        bytes: u64,
+    },
     /// Failure declared and failover executed (Table II breakdown).
     Failover {
         /// Fault-to-detection latency (ns).
@@ -228,6 +261,10 @@ impl TraceEvent {
             TraceEvent::OutputRelease { .. } => "OutputRelease",
             TraceEvent::ClientDeliver { .. } => "ClientDeliver",
             TraceEvent::HeartbeatMiss { .. } => "HeartbeatMiss",
+            TraceEvent::OutputDiscard { .. } => "OutputDiscard",
+            TraceEvent::RearmStart { .. } => "RearmStart",
+            TraceEvent::BootstrapChunk { .. } => "BootstrapChunk",
+            TraceEvent::RearmComplete { .. } => "RearmComplete",
             TraceEvent::Failover { .. } => "Failover",
         }
     }
@@ -351,6 +388,20 @@ impl serde::ser::Serialize for TraceEvent {
             TraceEvent::HeartbeatMiss { misses } => {
                 tagged("HeartbeatMiss", vec![("misses".into(), u(*misses as u64))])
             }
+            TraceEvent::OutputDiscard { packets } => {
+                tagged("OutputDiscard", vec![("packets".into(), u(*packets))])
+            }
+            TraceEvent::RearmStart { attempt } => {
+                tagged("RearmStart", vec![("attempt".into(), u(*attempt as u64))])
+            }
+            TraceEvent::BootstrapChunk { pages, bytes } => tagged(
+                "BootstrapChunk",
+                vec![("pages".into(), u(*pages)), ("bytes".into(), u(*bytes))],
+            ),
+            TraceEvent::RearmComplete { pages, bytes } => tagged(
+                "RearmComplete",
+                vec![("pages".into(), u(*pages)), ("bytes".into(), u(*bytes))],
+            ),
             TraceEvent::Failover {
                 detection_latency,
                 restore,
@@ -446,6 +497,20 @@ impl serde::de::Deserialize for TraceEvent {
             }),
             "HeartbeatMiss" => Ok(TraceEvent::HeartbeatMiss {
                 misses: serde::de::field(fields, "misses")?,
+            }),
+            "OutputDiscard" => Ok(TraceEvent::OutputDiscard {
+                packets: f(fields, "packets")?,
+            }),
+            "RearmStart" => Ok(TraceEvent::RearmStart {
+                attempt: serde::de::field(fields, "attempt")?,
+            }),
+            "BootstrapChunk" => Ok(TraceEvent::BootstrapChunk {
+                pages: f(fields, "pages")?,
+                bytes: f(fields, "bytes")?,
+            }),
+            "RearmComplete" => Ok(TraceEvent::RearmComplete {
+                pages: f(fields, "pages")?,
+                bytes: f(fields, "bytes")?,
             }),
             "Failover" => Ok(TraceEvent::Failover {
                 detection_latency: f(fields, "detection_latency")?,
@@ -920,6 +985,16 @@ mod tests {
             TraceEvent::OutputRelease { packets: 3 },
             TraceEvent::ClientDeliver { responses: 2 },
             TraceEvent::HeartbeatMiss { misses: 2 },
+            TraceEvent::OutputDiscard { packets: 4 },
+            TraceEvent::RearmStart { attempt: 1 },
+            TraceEvent::BootstrapChunk {
+                pages: 256,
+                bytes: 1_048_576,
+            },
+            TraceEvent::RearmComplete {
+                pages: 4096,
+                bytes: 16_777_216,
+            },
             TraceEvent::Failover {
                 detection_latency: 90,
                 restore: 218,

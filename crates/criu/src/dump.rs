@@ -261,6 +261,33 @@ pub fn dump_container(
     Ok(img)
 }
 
+/// Full-image *copy-on-write* dump for online re-replication: capture the
+/// container's complete resident set, but defer every page copy through the
+/// COW machinery (`CheckpointImage::deferred_vpns`) so the stop time stays at
+/// the protect cost — roughly one incremental epoch — instead of growing with
+/// the footprint. The caller freezes/thaws and streams the deferred pages.
+///
+/// Unlike the incremental path, a non-incremental [`dump_container`] does not
+/// clear the soft-dirty bits; this helper does, while the container is still
+/// frozen, so every write after the resume is dirty again and lands in the
+/// first incremental epoch toward the new backup.
+pub fn bootstrap_dump(
+    kernel: &mut Kernel,
+    container: &Container,
+    cfg: &DumpConfig,
+    cache: Option<&mut InfrequentCache>,
+    epoch: u64,
+) -> SimResult<CheckpointImage> {
+    let mut full_cfg = *cfg;
+    full_cfg.incremental = false;
+    full_cfg.cow = true;
+    let img = dump_container(kernel, container, &full_cfg, cache, epoch)?;
+    for &pid in &container.all_pids() {
+        kernel.clear_refs(pid)?;
+    }
+    Ok(img)
+}
+
 /// One-shot migration-style dump: freeze → dump → thaw.
 pub fn full_dump(
     kernel: &mut Kernel,
@@ -534,6 +561,32 @@ mod tests {
         let batch = k.cow_drain_pages(pid, 1000).unwrap();
         assert_eq!(batch.len(), 200);
         assert_eq!(&batch[0].1[..1], b"d");
+    }
+
+    #[test]
+    fn bootstrap_dump_defers_full_resident_set_and_rearms_tracking() {
+        let (mut k, c) = setup();
+        let pid = c.init_pid();
+        k.mem_write(pid, nilicon_container::MemLayout::heap(0), b"a")
+            .unwrap();
+        k.mem_write(pid, nilicon_container::MemLayout::heap_page(3), b"b")
+            .unwrap();
+        k.freeze_cgroup(c.cgroup, FreezeStrategy::BusyPoll).unwrap();
+        let img = bootstrap_dump(&mut k, &c, &DumpConfig::nilicon(), None, 7).unwrap();
+        k.thaw_cgroup(c.cgroup).unwrap();
+        // Full resident set deferred, nothing copied while frozen.
+        assert!(img.pages.is_empty());
+        let full = full_dump(&mut k, &c, &DumpConfig::nilicon()).unwrap();
+        assert_eq!(img.deferred_vpns.len() as u64, full.stats.dirty_pages);
+        // Deferred pages drain with real contents.
+        let drained = k.cow_drain_pages(pid, 1000).unwrap();
+        assert!(drained.iter().any(|(_, d)| &d[..1] == b"a"));
+        // Soft-dirty was re-armed: a post-resume write is dirty again.
+        k.mem_write(pid, nilicon_container::MemLayout::heap_page(9), b"c")
+            .unwrap();
+        let dirty = k.pagemap_dirty(pid).unwrap();
+        let vpn = nilicon_container::MemLayout::heap_page(9) / nilicon_sim::PAGE_SIZE as u64;
+        assert!(dirty.contains(&vpn));
     }
 
     #[test]

@@ -53,7 +53,7 @@ pub mod restore;
 
 pub use cache::InfrequentCache;
 pub use delta::{DeltaStats, PageEncoding, ShadowStore};
-pub use dump::{dump_container, full_dump, DirtySource, DumpConfig, FsCacheMode};
+pub use dump::{bootstrap_dump, dump_container, full_dump, DirtySource, DumpConfig, FsCacheMode};
 pub use image::{CheckpointImage, DumpPhases, DumpStats, ProcessImage};
 pub use imgfile::{decode as decode_image, encode as encode_image};
 pub use pagestore::{LinkedListStore, PageKey, PageStore, RadixTreeStore};

@@ -92,6 +92,22 @@ impl BlockDevice {
         self.store.len()
     }
 
+    /// Snapshot the full device content as writes, sorted by `(ino, page)`
+    /// for determinism. A freshly provisioned replication target has none of
+    /// this device's history, so re-establishing redundancy needs a full
+    /// resync (DRBD's initial bitmap-based sync) rather than the write log.
+    pub fn full_sync_writes(&self) -> Vec<DiskWrite> {
+        let mut keys: Vec<&(Ino, u64)> = self.store.keys().collect();
+        keys.sort();
+        keys.into_iter()
+            .map(|&(ino, page_idx)| DiskWrite {
+                ino,
+                page_idx,
+                data: self.store[&(ino, page_idx)].clone(),
+            })
+            .collect()
+    }
+
     /// Content digest for equality checks in tests (order-independent).
     pub fn digest(&self) -> u64 {
         // FNV-1a over sorted (key, page) pairs — cheap and deterministic.
@@ -169,6 +185,25 @@ mod tests {
         assert_ne!(a.digest(), b.digest());
         b.write_page(Ino(1), 0, page(1));
         assert_eq!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn full_sync_snapshot_rebuilds_fresh_device() {
+        let mut src = BlockDevice::new(DevId(1));
+        src.write_page(Ino(2), 1, page(2));
+        src.write_page(Ino(1), 0, page(1));
+        src.write_page(Ino(1), 5, page(5));
+        let _ = src.take_writes(); // log already drained: snapshot must not rely on it
+        let snap = src.full_sync_writes();
+        assert_eq!(snap.len(), 3);
+        let keys: Vec<(Ino, u64)> = snap.iter().map(|w| (w.ino, w.page_idx)).collect();
+        assert_eq!(keys, vec![(Ino(1), 0), (Ino(1), 5), (Ino(2), 1)], "sorted");
+        let mut fresh = BlockDevice::new(DevId(3));
+        for w in &snap {
+            fresh.apply_replicated(w);
+        }
+        assert_eq!(fresh.digest(), src.digest());
+        assert_eq!(fresh.pending_writes(), 0, "resync must not re-log");
     }
 
     #[test]

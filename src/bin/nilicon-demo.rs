@@ -32,7 +32,8 @@ struct Args {
     engine: String,
     epochs: u64,
     clients: usize,
-    fault_at_ms: Option<u64>,
+    fault_at_ms: Vec<u64>,
+    rearm: bool,
     scale: String,
     trace: Option<String>,
 }
@@ -43,7 +44,8 @@ fn parse_args() -> Result<Args, String> {
         engine: "nilicon".into(),
         epochs: 60,
         clients: 4,
-        fault_at_ms: None,
+        fault_at_ms: Vec::new(),
+        rearm: false,
         scale: "small".into(),
         trace: None,
     };
@@ -63,13 +65,12 @@ fn parse_args() -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--clients: {e}"))?
             }
-            "--fault-at-ms" | "-f" => {
-                args.fault_at_ms = Some(
-                    val("--fault-at-ms")?
-                        .parse()
-                        .map_err(|e| format!("--fault-at-ms: {e}"))?,
-                )
-            }
+            "--fault-at-ms" | "-f" => args.fault_at_ms.push(
+                val("--fault-at-ms")?
+                    .parse()
+                    .map_err(|e| format!("--fault-at-ms: {e}"))?,
+            ),
+            "--rearm" => args.rearm = true,
             "--scale" | "-s" => args.scale = val("--scale")?,
             "--trace" | "-t" => args.trace = Some(val("--trace")?),
             "--list" => {
@@ -81,8 +82,8 @@ fn parse_args() -> Result<Args, String> {
             "--help" | "-h" => {
                 println!(
                     "usage: nilicon-demo [--workload NAME] [--engine nilicon|mc|colo|stock] \
-                     [--epochs N] [--clients N] [--fault-at-ms T] [--scale small|bench|paper] \
-                     [--trace FILE.jsonl] [--list]"
+                     [--epochs N] [--clients N] [--fault-at-ms T]... [--rearm] \
+                     [--scale small|bench|paper] [--trace FILE.jsonl] [--list]"
                 );
                 std::process::exit(0);
             }
@@ -149,10 +150,11 @@ fn main() {
         }
     };
     let mode = match args.engine.as_str() {
-        "nilicon" => RunMode::Replicated(Box::new(NiLiConEngine::new(
-            OptimizationConfig::nilicon(),
-            CostModel::default(),
-        ))),
+        "nilicon" => {
+            let mut opts = OptimizationConfig::nilicon();
+            opts.rearm = args.rearm;
+            RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())))
+        }
         "mc" => RunMode::Replicated(Box::new(McEngine::new(CostModel::default()))),
         "colo" => RunMode::Replicated(Box::new(nilicon_repro::colo::ColoEngine::new(
             CostModel::default(),
@@ -192,7 +194,7 @@ fn main() {
         h.set_tracer(tracer);
         println!("tracing epoch phases to {path} (see OBSERVABILITY.md)");
     }
-    if let Some(ms) = args.fault_at_ms {
+    for &ms in &args.fault_at_ms {
         h.inject_fault_at(ms * 1_000_000);
         println!("fail-stop fault scheduled at t={ms}ms");
     }
@@ -234,6 +236,15 @@ fn main() {
             fo.tcp as f64 / 1e6,
             fo.others as f64 / 1e6,
         );
+        if r.failovers > 1 {
+            println!(
+                "failovers survived  : {} (re-replication kept the run fault-tolerant)",
+                r.failovers
+            );
+        }
+    }
+    if r.unrecovered_faults > 0 {
+        println!("unrecovered faults  : {}", r.unrecovered_faults);
     }
     println!("broken connections  : {}", r.broken_connections);
     match r.verify {

@@ -238,6 +238,135 @@ fn single_client_latency_inflates_under_nilicon() {
     assert!(repl < 80 * MILLISECOND, "but bounded by ~an epoch: {repl}");
 }
 
+fn rearm_mode() -> RunMode {
+    let mut opts = OptimizationConfig::nilicon();
+    opts.rearm = true;
+    RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())))
+}
+
+#[test]
+fn rearm_survives_two_sequential_primary_faults() {
+    // EXTENSION (off in every paper row): after the first failover the
+    // promoted container bootstraps a replacement backup, so a second
+    // primary fault is survivable — two failovers, zero broken connections,
+    // read-your-writes consistency across both.
+    use nilicon::trace::{TraceEvent, Tracer};
+    let w = workloads::redis(Scale::small(), 4, None);
+    let mut h = RunHarness::new(
+        w.spec,
+        w.app,
+        w.behavior,
+        rearm_mode(),
+        ReplicationConfig::default(),
+        w.parallelism,
+    )
+    .unwrap();
+    let (tracer, ring) = Tracer::in_memory(8192);
+    h.set_tracer(tracer);
+    h.inject_fault_at(400 * MILLISECOND);
+    h.inject_fault_at(2 * SECOND);
+    h.run_epochs(120).unwrap();
+    assert_eq!(h.failovers(), 2, "both faults caused failovers");
+    assert!(h.on_backup());
+    let recs = ring.snapshot();
+    let count = |pred: &dyn Fn(&TraceEvent) -> bool| recs.iter().filter(|r| pred(&r.kind)).count();
+    assert_eq!(
+        count(&|k| matches!(k, TraceEvent::Failover { .. })),
+        2,
+        "one Failover event per fault"
+    );
+    assert_eq!(
+        count(&|k| matches!(k, TraceEvent::OutputDiscard { .. })),
+        2,
+        "uncommitted output discarded at each failover"
+    );
+    assert!(
+        count(&|k| matches!(k, TraceEvent::RearmStart { .. })) >= 2,
+        "a bootstrap started after each failover"
+    );
+    assert!(
+        count(&|k| matches!(k, TraceEvent::RearmComplete { .. })) >= 1,
+        "redundancy was re-established before the second fault"
+    );
+    assert!(
+        count(&|k| matches!(k, TraceEvent::BootstrapChunk { .. })) >= 1,
+        "the bootstrap image streamed in chunks"
+    );
+    // The first RearmComplete must precede the second fault: the second
+    // failover restored from the re-armed backup, not from thin air.
+    let complete_t = recs
+        .iter()
+        .find(|r| matches!(r.kind, TraceEvent::RearmComplete { .. }))
+        .expect("rearm completed")
+        .t;
+    assert!(complete_t < 2 * SECOND, "armed before the second fault");
+
+    let r = h.finish();
+    assert!(r.recovered, "both faults recovered");
+    assert_eq!(r.failovers, 2);
+    assert_eq!(r.unrecovered_faults, 0);
+    assert_eq!(r.broken_connections, 0, "no RST reached any client");
+    r.verify
+        .expect("no lost updates across two failovers");
+    assert!(
+        r.metrics.requests_total > 10,
+        "service continued throughout: {} requests",
+        r.metrics.requests_total
+    );
+}
+
+#[test]
+fn rearm_bootstrap_survives_replacement_loss_and_retries() {
+    // Fault DURING the bootstrap: the replacement backup dies mid-stream.
+    // The promoted container keeps serving unreplicated, the half-assembled
+    // image is dropped, and a later attempt (exponential backoff) succeeds.
+    use nilicon::trace::{TraceEvent, Tracer};
+    let w = workloads::redis(Scale::small(), 4, None);
+    // Tiny chunks stretch the bootstrap across many epochs so the injected
+    // backup fault reliably lands mid-stream.
+    let cfg = ReplicationConfig {
+        rearm_chunk_pages: 16,
+        ..Default::default()
+    };
+    let mut h = RunHarness::new(w.spec, w.app, w.behavior, rearm_mode(), cfg, w.parallelism)
+        .unwrap();
+    let (tracer, ring) = Tracer::in_memory(8192);
+    h.set_tracer(tracer);
+    h.inject_fault_at(400 * MILLISECOND);
+    h.inject_backup_fault_at(1500 * MILLISECOND);
+    h.run_epochs(200).unwrap();
+    assert_eq!(h.failovers(), 1);
+    assert!(h.rearmed(), "a retry eventually re-established redundancy");
+    let recs = ring.snapshot();
+    let starts: Vec<u32> = recs
+        .iter()
+        .filter_map(|r| match r.kind {
+            TraceEvent::RearmStart { attempt } => Some(attempt),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        starts.len() >= 2,
+        "the aborted bootstrap was retried: attempts {starts:?}"
+    );
+    assert!(
+        starts.contains(&1),
+        "the retry carries an incremented attempt counter: {starts:?}"
+    );
+    assert_eq!(
+        recs.iter()
+            .filter(|r| matches!(r.kind, TraceEvent::RearmComplete { .. }))
+            .count(),
+        1,
+        "exactly one bootstrap completed"
+    );
+    let r = h.finish();
+    assert!(r.recovered);
+    assert_eq!(r.broken_connections, 0);
+    r.verify
+        .expect("consistency preserved across failover + aborted bootstrap");
+}
+
 #[test]
 fn run_lasts_virtual_seconds_and_is_deterministic() {
     let run = || {
