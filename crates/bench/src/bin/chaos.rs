@@ -1,0 +1,114 @@
+//! The chaos bench: sweep the adversarial scenario catalog (DESIGN.md §9)
+//! across fault-timing shifts and print the scenario × outcome matrix.
+//!
+//! ```text
+//! cargo run --release -p nilicon-bench --bin chaos            # full matrix
+//! cargo run --release -p nilicon-bench --bin chaos -- quick   # CI smoke
+//! ```
+//!
+//! Every `recovered` cell is backed by the byte-identical committed-state
+//! replay check (see `nilicon_bench::chaos`); any `split-brain` cell fails
+//! the process. The full matrix also lands in `CHAOS_matrix.json`.
+
+use nilicon_bench::chaos::{run_cell, run_state_cell, scenarios, Cell, Outcome, CELL_EPOCHS};
+use nilicon_bench::Table;
+use nilicon_sim::MILLISECOND;
+
+fn main() {
+    if std::env::args().any(|a| a == "quick") {
+        quick();
+        return;
+    }
+
+    // The fault-timing sweep: the same schedule landing at different phases
+    // of the 30 ms epoch (mid-epoch, near a boundary, near a release).
+    let shifts = [0, 7 * MILLISECOND, 23 * MILLISECOND];
+    let mut cells: Vec<Cell> = Vec::new();
+    for &shift in &shifts {
+        for sc in scenarios(shift) {
+            cells.push(run_cell(&sc, shift, CELL_EPOCHS));
+        }
+    }
+
+    let mut t = Table::new(
+        "Chaos matrix — scenario × fault-timing",
+        vec![
+            "scenario", "shift", "outcome", "expect", "state", "service", "fo", "stall",
+            "no-ack", "fence", "false+", "exp",
+        ],
+    );
+    for c in &cells {
+        let st = &c.state.stats;
+        t.push(
+            c.scenario,
+            vec![
+                format!("+{}ms", c.shift_ms),
+                c.outcome.to_string(),
+                c.expect.to_string(),
+                if c.state.state_ok { "byte-id" } else { "MISMATCH" }.into(),
+                if c.service.service_ok { "ok" } else { "FAIL" }.into(),
+                format!("{}", c.state.failovers),
+                format!("{}", st.stalled_epochs),
+                format!("{}", st.withheld_acks),
+                format!("{}", st.fenced_releases),
+                format!("{}", st.false_suspicions),
+                format!("{}", st.lease_expiries),
+            ],
+        );
+    }
+    t.emit();
+
+    let json = serde_json::to_string(&cells).expect("cells serialize");
+    std::fs::write("CHAOS_matrix.json", &json).expect("write CHAOS_matrix.json");
+    println!("wrote CHAOS_matrix.json ({} cells)", cells.len());
+
+    let split = cells
+        .iter()
+        .filter(|c| c.outcome == Outcome::SplitBrain)
+        .count();
+    let surprises: Vec<String> = cells
+        .iter()
+        .filter(|c| c.outcome != c.expect)
+        .map(|c| format!("{} +{}ms: {} (expected {})", c.scenario, c.shift_ms, c.outcome, c.expect))
+        .collect();
+    println!(
+        "summary: {} cells, {} split-brain, {} off-catalog",
+        cells.len(),
+        split,
+        surprises.len()
+    );
+    for s in &surprises {
+        println!("  off-catalog: {s}");
+    }
+    if split > 0 {
+        eprintln!("FATAL: split-brain cell(s) present");
+        std::process::exit(1);
+    }
+    if !surprises.is_empty() {
+        eprintln!("FATAL: outcome(s) diverged from the failure-mode catalog");
+        std::process::exit(1);
+    }
+    println!("chaos matrix clean: zero split-brain, all cells match the catalog");
+}
+
+/// CI smoke: one short partition + heal, asserted recovered with a
+/// byte-identical committed state.
+fn quick() {
+    let sc = scenarios(0)
+        .into_iter()
+        .find(|s| s.name == "partition-brief")
+        .expect("catalog has partition-brief");
+    let cell = run_state_cell(&sc, 30);
+    println!(
+        "chaos quick: partition-brief -> {} (state {})",
+        cell.outcome,
+        if cell.state_ok { "byte-identical" } else { "MISMATCH" }
+    );
+    assert_eq!(cell.outcome, Outcome::Recovered, "smoke scenario must recover");
+    assert!(cell.state_ok, "smoke scenario must be byte-identical");
+    assert!(
+        cell.stats.stalled_epochs > 0,
+        "the partition must actually have cut the transfer link"
+    );
+    println!("chaos quick PASS");
+}

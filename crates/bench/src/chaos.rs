@@ -1,0 +1,552 @@
+//! The chaos matrix: adversarial scenarios on the replication/heartbeat
+//! links (partition, asymmetric loss, delay spikes, reordering) crossed with
+//! fault timing, classified into recovered / degraded / data-loss /
+//! split-brain (see DESIGN.md §9 for the failure-mode catalog this sweeps).
+//!
+//! Every cell runs twice:
+//!
+//! * a **state** run — the [`ScriptApp`] batch workload, whose guest-heap
+//!   contents are a pure function of a step counter `n`, so the final memory
+//!   can be re-derived by replaying `1..=n` onto the initial snapshot and
+//!   byte-compared (the `tests/cow_equivalence.rs` pattern, without needing
+//!   a reference run);
+//! * a **service** run — the `net_echo` workload, checking response
+//!   correctness and broken connections across the same schedule.
+//!
+//! A cell's outcome is the worse of the two.
+
+use nilicon::harness::{RunHarness, RunMode};
+use nilicon::{ChaosStats, NiLiConEngine, OptimizationConfig, ReplicationConfig};
+use nilicon_container::{Application, ContainerSpec, GuestCtx, StepOutcome};
+use nilicon_sim::net::{ChaosConfig, ChaosSchedule, FaultKind, LinkDir};
+use nilicon_sim::time::Nanos;
+use nilicon_sim::{CostModel, SimResult, MILLISECOND, PAGE_SIZE};
+use nilicon_workloads::net_echo;
+use serde::Serialize;
+
+const MS: Nanos = MILLISECOND;
+/// Heap pages the script touches (and the snapshot covers).
+pub const HEAP_PAGES: u64 = 64;
+/// CPU charged per script step (~20 steps per 30 ms epoch).
+const STEP_CPU: Nanos = 1_500_000;
+
+// ----------------------------------------------------------------------
+// The deterministic write script and its replay model
+// ----------------------------------------------------------------------
+
+/// The writes step `n` performs, as `(heap byte offset, bytes)` — one sparse
+/// edit, one dense page rewrite, one page periodically scrubbed to zeros,
+/// and one "fresh" page first touched late in the run, plus the counter
+/// itself at offset 0. Pure in `n`: the whole heap after step `n` is
+/// `replay(base, n)`.
+fn script_writes(n: u64) -> Vec<(u64, Vec<u8>)> {
+    let p = PAGE_SIZE as u64;
+    let scrub = if n.is_multiple_of(5) {
+        0u8
+    } else {
+        (n % 7) as u8 + 1
+    };
+    vec![
+        (0, n.to_le_bytes().to_vec()),
+        ((1 + n % 13) * p + (n % 256) * 8, vec![n as u8; 64]),
+        (20 * p, vec![(n % 251) as u8 | 1; PAGE_SIZE]),
+        (21 * p, vec![scrub; PAGE_SIZE]),
+        ((24 + n % 32) * p, vec![0xC3 ^ (n as u8); 128]),
+    ]
+}
+
+/// Replay steps `1..=n` of the script onto `base` (the pre-run heap
+/// snapshot); the result is the only memory state a correct run can end in.
+pub fn replay(base: &[u8], n: u64) -> Vec<u8> {
+    let mut mem = base.to_vec();
+    for i in 1..=n {
+        for (off, data) in script_writes(i) {
+            let off = off as usize;
+            mem[off..off + data.len()].copy_from_slice(&data);
+        }
+    }
+    mem
+}
+
+/// Batch application executing the deterministic write script once per
+/// step (`script_writes`, private — see `replay` for the public half). The step
+/// counter lives in guest memory (heap offset 0), so it both survives
+/// failover and is readable from the final snapshot.
+pub struct ScriptApp {
+    n: u64,
+}
+
+impl ScriptApp {
+    /// Fresh script at step 0.
+    pub fn new() -> Self {
+        ScriptApp { n: 0 }
+    }
+}
+
+impl Default for ScriptApp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Application for ScriptApp {
+    fn name(&self) -> &str {
+        "script"
+    }
+
+    fn init(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        ctx.heap_write(0, &0u64.to_le_bytes())
+    }
+
+    fn step(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<StepOutcome> {
+        self.n += 1;
+        for (off, data) in script_writes(self.n) {
+            ctx.heap_write(off, &data)?;
+        }
+        ctx.cpu(STEP_CPU);
+        Ok(StepOutcome { done: false })
+    }
+
+    fn recover(&mut self, ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        // Resume from whatever step the committed image last saw.
+        let mut buf = [0u8; 8];
+        ctx.heap_read(0, &mut buf)?;
+        self.n = u64::from_le_bytes(buf);
+        Ok(())
+    }
+
+    fn is_server(&self) -> bool {
+        false
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scenarios
+// ----------------------------------------------------------------------
+
+/// Cell outcome classes, ordered least to most severe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Outcome {
+    /// Service and committed state intact (byte-identical check passed).
+    Recovered,
+    /// Service intact but redundancy lost without a failover (backup loss,
+    /// no re-arm).
+    Degraded,
+    /// Verification, state comparison, or an injected fault's recovery
+    /// failed.
+    DataLoss,
+    /// The exactly-one-owner invariant broke (must never appear).
+    SplitBrain,
+}
+
+impl std::fmt::Display for Outcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Outcome::Recovered => "recovered",
+            Outcome::Degraded => "degraded",
+            Outcome::DataLoss => "data-loss",
+            Outcome::SplitBrain => "split-brain",
+        })
+    }
+}
+
+/// One adversarial scenario: a link-fault schedule plus optional injected
+/// host faults, with the catalogued expectation (DESIGN.md §9).
+pub struct Scenario {
+    /// Catalog name.
+    pub name: &'static str,
+    /// Link-fault schedule (already shifted).
+    pub schedule: ChaosSchedule,
+    /// Fail-stop the active host at this time.
+    pub primary_fault: Option<Nanos>,
+    /// Fail-stop the backup host at this time.
+    pub backup_fault: Option<Nanos>,
+    /// Run with the re-replication extension armed.
+    pub rearm: bool,
+    /// Expected outcome per the failure-mode catalog.
+    pub expect: Outcome,
+}
+
+/// The scenario catalog, with every window and fault time shifted by
+/// `shift` (the fault-timing sweep axis: the same fault lands at different
+/// phases of the 30 ms epoch).
+pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
+    let s = |t: Nanos| t + shift;
+    let none = ChaosSchedule::default();
+    vec![
+        Scenario {
+            name: "partition-brief",
+            schedule: none
+                .clone()
+                .window(s(400 * MS), s(460 * MS), FaultKind::Partition),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "partition-false-positive",
+            schedule: none
+                .clone()
+                .window(s(400 * MS), s(510 * MS), FaultKind::Partition),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "partition-long",
+            schedule: none
+                .clone()
+                .window(s(400 * MS), s(2000 * MS), FaultKind::Partition),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "asym-loss-heartbeats",
+            schedule: none.clone().window(
+                s(400 * MS),
+                s(700 * MS),
+                FaultKind::AsymLoss {
+                    dir: LinkDir::AtoB,
+                    drop_nth: 2,
+                },
+            ),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "asym-loss-acks",
+            schedule: none.clone().window(
+                s(400 * MS),
+                s(550 * MS),
+                FaultKind::AsymLoss {
+                    dir: LinkDir::BtoA,
+                    drop_nth: 1,
+                },
+            ),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "delay-mild",
+            schedule: none.clone().window(
+                s(400 * MS),
+                s(700 * MS),
+                FaultKind::DelaySpike { extra: 20 * MS },
+            ),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "delay-fence",
+            schedule: none.clone().window(
+                s(400 * MS),
+                s(700 * MS),
+                FaultKind::DelaySpike { extra: 80 * MS },
+            ),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "reorder",
+            schedule: none
+                .clone()
+                .window(s(400 * MS), s(700 * MS), FaultKind::Reorder),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "backup-fault-mid-epoch",
+            schedule: none.clone(),
+            primary_fault: None,
+            backup_fault: Some(s(415 * MS)),
+            rearm: false,
+            expect: Outcome::Degraded,
+        },
+        Scenario {
+            name: "backup-fault-rearm",
+            schedule: none.clone(),
+            primary_fault: None,
+            backup_fault: Some(s(415 * MS)),
+            rearm: true,
+            expect: Outcome::Recovered,
+        },
+        Scenario {
+            name: "fault-during-release",
+            schedule: none.window(
+                s(380 * MS),
+                s(500 * MS),
+                FaultKind::DelaySpike { extra: 10 * MS },
+            ),
+            primary_fault: Some(s(415 * MS)),
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        },
+    ]
+}
+
+// ----------------------------------------------------------------------
+// Running one cell
+// ----------------------------------------------------------------------
+
+/// Everything one cell run produced, for classification and reporting.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellRun {
+    /// Outcome class for this run alone.
+    pub outcome: Outcome,
+    /// Byte-identical state check (state runs; `true` for service runs).
+    pub state_ok: bool,
+    /// Workload verification + no broken connections.
+    pub service_ok: bool,
+    /// Failovers completed.
+    pub failovers: u64,
+    /// Chaos counters at the end of the run.
+    pub stats: ChaosStats,
+    /// Hard error, if the run aborted (split-brain reports land here too).
+    pub error: Option<String>,
+}
+
+fn chaos_mode(rearm: bool) -> RunMode {
+    let mut opts = OptimizationConfig::nilicon();
+    opts.rearm = rearm;
+    RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())))
+}
+
+/// Run the initial-sync epoch on the paper path, then arm the chaos link,
+/// leases, and fault schedule. NiLiCon likewise starts failure detection
+/// only after the bootstrap transfer completes: the ~160 ms initial full
+/// sync is silence on the heartbeat channel, and arming earlier makes every
+/// run open with one spurious suspicion/fence cycle (see DESIGN.md §9).
+fn arm(h: &mut RunHarness, sc: &Scenario) -> Result<(), String> {
+    h.run_epochs(1).map_err(|e| e.to_string())?;
+    h.set_chaos(ChaosConfig::new(sc.schedule.clone()));
+    if let Some(t) = sc.primary_fault {
+        h.inject_fault_at(t);
+    }
+    if let Some(t) = sc.backup_fault {
+        h.inject_backup_fault_at(t);
+    }
+    Ok(())
+}
+
+fn classify(
+    state_ok: bool,
+    service_ok: bool,
+    unrecovered: u64,
+    failovers: u64,
+    replication_now: bool,
+    stats: &ChaosStats,
+    error: Option<&str>,
+) -> Outcome {
+    if stats.split_brain || error.is_some_and(|e| e.contains("split-brain")) {
+        return Outcome::SplitBrain;
+    }
+    if !state_ok || !service_ok || unrecovered > 0 || error.is_some() {
+        return Outcome::DataLoss;
+    }
+    if failovers == 0 && !replication_now {
+        // The backup died and nothing replaced it: serving, unprotected.
+        return Outcome::Degraded;
+    }
+    Outcome::Recovered
+}
+
+/// Run the [`ScriptApp`] state cell: `epochs` epochs under the scenario,
+/// then byte-compare the final heap against the replayed script.
+pub fn run_state_cell(sc: &Scenario, epochs: u64) -> CellRun {
+    let mut spec = ContainerSpec::batch("script", 10);
+    spec.heap_pages = HEAP_PAGES;
+    spec.threads_per_process = 1;
+    let mut h = RunHarness::new(
+        spec,
+        Box::new(ScriptApp::new()),
+        None,
+        chaos_mode(sc.rearm),
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .expect("harness");
+    let base = h.snapshot_heap(HEAP_PAGES);
+    let error = arm(&mut h, sc)
+        .err()
+        .or_else(|| h.run_epochs(epochs.saturating_sub(1)).err().map(|e| e.to_string()));
+    let stats = h.chaos_stats().unwrap_or_default();
+    let failovers = h.failovers();
+    let replication_now = h.replication_active();
+
+    let snap = h.snapshot_heap(HEAP_PAGES);
+    let n = u64::from_le_bytes(snap[0..8].try_into().expect("counter bytes"));
+    // A run that aborted (split-brain) proves nothing about state; skip the
+    // replay so the comparison can't mask the real outcome.
+    let state_ok = error.is_none() && n > 0 && snap == replay(&base, n);
+
+    let r = h.finish();
+    let outcome = classify(
+        state_ok,
+        true,
+        r.unrecovered_faults,
+        failovers,
+        replication_now,
+        &stats,
+        error.as_deref(),
+    );
+    CellRun {
+        outcome,
+        state_ok,
+        service_ok: true,
+        failovers,
+        stats,
+        error,
+    }
+}
+
+/// Run the `net_echo` service cell: same scenario, correctness judged by the
+/// echo behavior's verification and broken-connection count.
+pub fn run_service_cell(sc: &Scenario, epochs: u64) -> CellRun {
+    let w = net_echo(4, None);
+    let mut h = RunHarness::new(
+        w.spec,
+        w.app,
+        w.behavior,
+        chaos_mode(sc.rearm),
+        ReplicationConfig::default(),
+        w.parallelism,
+    )
+    .expect("harness");
+    let error = arm(&mut h, sc)
+        .err()
+        .or_else(|| h.run_epochs(epochs.saturating_sub(1)).err().map(|e| e.to_string()));
+    let stats = h.chaos_stats().unwrap_or_default();
+    let failovers = h.failovers();
+    let replication_now = h.replication_active();
+    let r = h.finish();
+    let service_ok = error.is_none() && r.verify.is_ok() && r.broken_connections == 0;
+    let outcome = classify(
+        true,
+        service_ok,
+        r.unrecovered_faults,
+        failovers,
+        replication_now,
+        &stats,
+        error.as_deref(),
+    );
+    CellRun {
+        outcome,
+        state_ok: true,
+        service_ok,
+        failovers,
+        stats,
+        error,
+    }
+}
+
+/// One matrix cell: the worse of the state and service runs.
+#[derive(Debug, Clone, Serialize)]
+pub struct Cell {
+    /// Scenario name.
+    pub scenario: &'static str,
+    /// Fault-timing shift (ms).
+    pub shift_ms: u64,
+    /// Catalogued expectation.
+    pub expect: Outcome,
+    /// Observed outcome (worse of state/service).
+    pub outcome: Outcome,
+    /// The state run.
+    pub state: CellRun,
+    /// The service run.
+    pub service: CellRun,
+}
+
+/// Default epochs per cell run (~2.3 s virtual — past every window and
+/// promotion gate in the catalog).
+pub const CELL_EPOCHS: u64 = 75;
+
+/// Run one full cell (state + service) of the matrix.
+pub fn run_cell(sc: &Scenario, shift: Nanos, epochs: u64) -> Cell {
+    let state = run_state_cell(sc, epochs);
+    let service = run_service_cell(sc, epochs);
+    Cell {
+        scenario: sc.name,
+        shift_ms: shift / MS,
+        expect: sc.expect,
+        outcome: state.outcome.max(service.outcome),
+        state,
+        service,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replay_is_pure_and_cumulative() {
+        let base = vec![0u8; (HEAP_PAGES as usize) * PAGE_SIZE];
+        let a = replay(&base, 40);
+        let b = replay(&replay(&base, 25), 0); // replay(…, 0) is identity
+        assert_ne!(a, base);
+        assert_eq!(b, replay(&base, 25));
+        // Step 40's counter is in place.
+        assert_eq!(u64::from_le_bytes(a[0..8].try_into().unwrap()), 40);
+    }
+
+    #[test]
+    fn script_writes_stay_inside_the_snapshot() {
+        for n in 0..600 {
+            for (off, data) in script_writes(n) {
+                assert!(
+                    (off as usize + data.len()) <= (HEAP_PAGES as usize) * PAGE_SIZE,
+                    "step {n} writes out of range"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn catalog_covers_the_required_scenario_classes() {
+        let cat = scenarios(0);
+        assert!(cat.len() >= 6);
+        for needle in [
+            "partition",
+            "asym-loss",
+            "delay",
+            "backup-fault",
+            "fault-during-release",
+            "partition-false-positive",
+        ] {
+            assert!(
+                cat.iter().any(|s| s.name.contains(needle)),
+                "catalog misses {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn clean_state_run_is_recovered_and_byte_identical() {
+        let sc = Scenario {
+            name: "clean",
+            schedule: ChaosSchedule::default(),
+            primary_fault: None,
+            backup_fault: None,
+            rearm: false,
+            expect: Outcome::Recovered,
+        };
+        let cell = run_state_cell(&sc, 12);
+        assert!(cell.state_ok, "clean run must replay byte-identically");
+        assert_eq!(cell.outcome, Outcome::Recovered);
+    }
+}

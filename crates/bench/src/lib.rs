@@ -22,6 +22,7 @@
 //! in wall-clock time: the §V-A radix tree vs linked-list page stores, the
 //! soft-dirty scan, checkpoint image sizing, and the plug qdisc.
 
+pub mod chaos;
 pub mod comparison;
 pub mod report;
 pub mod runner;

@@ -132,6 +132,18 @@ impl FailureDetector {
         self.last_beat + intervals * self.interval
     }
 
+    /// Cancel a standing detection at time `t`: a late heartbeat proved the
+    /// suspicion false before promotion went through. Only meaningful when
+    /// promotion is gated on something slower than detection (the chaos
+    /// lease — see [`Lease`]); the paper's detector promotes immediately, so
+    /// on the paper path detection stays sticky and this is never called.
+    /// Re-anchors the silence window at `t`.
+    pub fn rescind(&mut self, t: Nanos) {
+        self.detected_at = None;
+        self.last_beat = self.last_beat.max(t);
+        self.misses_traced = 0;
+    }
+
     /// Detection latency for a fault at `fault_time` (None before
     /// detection). A detection time *earlier* than the fault means the
     /// detector carries stale state (e.g. it was not reset after a previous
@@ -145,6 +157,62 @@ impl FailureDetector {
             ))),
             Some(d) => Ok(Some(d - fault_time)),
         }
+    }
+}
+
+/// An output-release lease: the split-brain fence (chaos extension).
+///
+/// The backup's epoch ack doubles as a lease grant: it authorizes the
+/// primary to release buffered output for `term` nanoseconds past the ack's
+/// anchor time. The *primary* anchors its copy of the lease at the moment it
+/// started the checkpoint (epoch end — before any link delay), while the
+/// *backup* anchors its grant at the (later) time the ack completed. Since
+/// the primary's anchor always precedes the backup's, the primary's lease
+/// expires first:
+///
+/// ```text
+/// primary expiry = epoch_end + term  ≤  ack_time + term = granted expiry
+/// ```
+///
+/// so a primary that loses contact stops releasing output (*fences*) strictly
+/// before the backup's grant can lapse — and the backup only promotes after
+/// its grant expires. At most one side can ever release output: the
+/// exactly-one-owner invariant (DESIGN.md §9).
+#[derive(Debug, Clone, Copy)]
+pub struct Lease {
+    term: Nanos,
+    expires_at: Nanos,
+}
+
+impl Lease {
+    /// A lease with the given term, initially granted at `start` (the
+    /// implicit grant that accompanies replication handoff).
+    pub fn new(term: Nanos, start: Nanos) -> Self {
+        Lease {
+            term,
+            expires_at: start + term,
+        }
+    }
+
+    /// Renew: extend to `anchor + term`. Renewals never shorten the lease
+    /// (a reordered stale ack must not revoke a newer grant).
+    pub fn grant(&mut self, anchor: Nanos) {
+        self.expires_at = self.expires_at.max(anchor + self.term);
+    }
+
+    /// Whether the lease still authorizes output release at `t`.
+    pub fn valid_at(&self, t: Nanos) -> bool {
+        t < self.expires_at
+    }
+
+    /// Current expiry instant.
+    pub fn expires_at(&self) -> Nanos {
+        self.expires_at
+    }
+
+    /// The lease term.
+    pub fn term(&self) -> Nanos {
+        self.term
     }
 }
 
@@ -266,6 +334,44 @@ mod tests {
         assert_eq!(d.next_boundary(6 * MS30 - 1), 6 * MS30);
         // Exactly on a later boundary: stays there.
         assert_eq!(d.next_boundary(7 * MS30), 7 * MS30);
+    }
+
+    #[test]
+    fn rescind_cancels_detection_and_reanchors() {
+        let mut d = FailureDetector::new(MS30, 3, 0);
+        assert!(d.check(3 * MS30), "silence from t=0 detects at 90ms");
+        // A late beat arrives at 95ms; the harness rescinds the suspicion.
+        d.rescind(95 * MILLISECOND);
+        assert_eq!(d.detected_at(), None);
+        assert!(!d.check(95 * MILLISECOND + 2 * MS30), "window re-anchored");
+        assert!(d.check(95 * MILLISECOND + 3 * MS30), "silence detects again");
+    }
+
+    #[test]
+    fn primary_lease_expires_no_later_than_the_grant() {
+        // Primary anchors at epoch end, backup at ack time (later): the
+        // fence closes before promotion opens, for any ack delay.
+        let term = 150 * MILLISECOND;
+        for ack_delay in [0, 1, 370_000, 12 * MILLISECOND] {
+            let epoch_end = 600 * MILLISECOND;
+            let mut holder = Lease::new(term, 0);
+            let mut grant = Lease::new(term, 0);
+            holder.grant(epoch_end);
+            grant.grant(epoch_end + ack_delay);
+            assert!(holder.expires_at() <= grant.expires_at());
+            // At the instant the grant lapses, the holder is already fenced.
+            assert!(!holder.valid_at(grant.expires_at()));
+        }
+    }
+
+    #[test]
+    fn stale_grant_never_shortens_a_lease() {
+        let mut l = Lease::new(100, 0);
+        l.grant(500);
+        l.grant(200); // reordered stale ack
+        assert_eq!(l.expires_at(), 600);
+        assert!(l.valid_at(599));
+        assert!(!l.valid_at(600));
     }
 
     #[test]

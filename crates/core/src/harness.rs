@@ -17,21 +17,21 @@
 //! is what produces the Table VI latency inflation.
 
 use crate::config::ReplicationConfig;
-use crate::detector::{FailureDetector, HeartbeatSender};
+use crate::detector::{FailureDetector, HeartbeatSender, Lease};
 use crate::engine::{Checkpointer, FailoverReport};
 use crate::metrics::{EpochRecord, RunMetrics};
 use crate::trace::{TraceEvent, Tracer};
 use crate::traffic::{ClientBehavior, ClientPool};
 use nilicon_container::{
     encode_frame, try_decode_frame, Application, Container, ContainerRuntime, ContainerSpec,
-    GuestCtx,
+    GuestCtx, MemLayout,
 };
 use nilicon_sim::cluster::Cluster;
 use nilicon_sim::ids::{Endpoint, HostId, Pid};
 use nilicon_sim::kernel::Kernel;
-use nilicon_sim::net::InputMode;
+use nilicon_sim::net::{ChaosConfig, ChaosLink, InputMode, LinkDir};
 use nilicon_sim::time::Nanos;
-use nilicon_sim::{SimError, SimResult};
+use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
 use std::collections::{HashMap, VecDeque};
 
 /// Address of the client host's stack on the bridge.
@@ -104,6 +104,59 @@ enum RearmState {
     Armed,
 }
 
+/// Live counters of the chaos extension, for scenario classification by the
+/// `chaos` bench bin (all zero when no chaos schedule is armed).
+#[derive(Debug, Clone, Copy, Default, serde::Serialize)]
+pub struct ChaosStats {
+    /// Partition windows the run entered.
+    pub partitions: u64,
+    /// Epochs whose checkpoint could not reach the backup (link cut at the
+    /// epoch boundary): execution continued, output stayed plugged.
+    pub stalled_epochs: u64,
+    /// Epochs whose state committed on the backup but whose ack never
+    /// returned (release withheld, lease not renewed).
+    pub withheld_acks: u64,
+    /// Output releases withheld because the primary's lease had expired
+    /// (the exactly-one-owner fence).
+    pub fenced_releases: u64,
+    /// Failure suspicions cancelled by a late heartbeat before the lease
+    /// gate allowed promotion.
+    pub false_suspicions: u64,
+    /// Times the primary's lease lapsed un-renewed.
+    pub lease_expiries: u64,
+    /// True iff the exactly-one-owner invariant was ever violated. Must stay
+    /// false: a violation also fails the run with a hard error.
+    pub split_brain: bool,
+}
+
+/// Chaos-mode run state: the heartbeat link under the fault schedule plus
+/// both views of the output-release lease.
+struct ChaosState {
+    cfg: ChaosConfig,
+    /// Heartbeats in flight (payload = send time).
+    hb: ChaosLink<Nanos>,
+    /// The primary's (conservative, early-anchored) view of its lease.
+    holder: Lease,
+    /// The backup's granted view (late-anchored; gates promotion).
+    grant: Lease,
+    last_beat_delivered: Nanos,
+    holder_was_valid: bool,
+    in_partition: bool,
+    partition_started_at: Option<Nanos>,
+    /// Acks attempted inside a partial-loss window (drives `drop_nth`).
+    acks_attempted: u64,
+    stats: ChaosStats,
+}
+
+/// An output release deferred to its logical release time (chaos mode): the
+/// qdisc stays plugged until the lease check at flush. A primary fault in
+/// the gap voids it — fault-during-output-release.
+struct PendingRelease {
+    release_time: Nanos,
+    /// Completions riding this release: (client endpoint, service-done time).
+    receipts: Vec<(Endpoint, Nanos)>,
+}
+
 /// Deterministic SplitMix64 jitter in `[0, range)`.
 fn jitter(state: &mut u64, range: Nanos) -> Nanos {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
@@ -171,6 +224,10 @@ pub struct RunHarness {
     /// service-time accounting (a C-ms request takes C·(E+stop)/E of wall
     /// time under replication because the container freezes every epoch).
     last_stop: Nanos,
+    /// Chaos extension state (None on every paper path).
+    chaos: Option<ChaosState>,
+    /// Chaos mode: the release deferred from the previous epoch, if any.
+    pending_release: Option<PendingRelease>,
     tracer: Tracer,
 }
 
@@ -285,8 +342,81 @@ impl RunHarness {
             jitter_state: 0x243F6A8885A308D3,
             cpu_debt: 0,
             last_stop: 0,
+            chaos: None,
+            pending_release: None,
             tracer: Tracer::disabled(),
         })
+    }
+
+    /// Arm the chaos extension: inject the network-fault schedule on the
+    /// replication/heartbeat link and turn on the output-release lease
+    /// (split-brain fence). Call on a replicated harness before any epochs
+    /// run; paper rows never call this, so the paper path is untouched.
+    ///
+    /// The lease term defaults to `(heartbeat_misses + 2) × interval`
+    /// (150 ms in the paper config) — deliberately longer than the 90 ms
+    /// detection threshold, so a false suspicion under delay can resolve
+    /// before the promotion gate opens. The price of the fence is promotion
+    /// latency: the backup waits out the granted lease even when the primary
+    /// is truly dead.
+    pub fn set_chaos(&mut self, cfg: ChaosConfig) {
+        self.set_chaos_with_lease(cfg, None)
+    }
+
+    /// [`RunHarness::set_chaos`] with an explicit lease term override.
+    pub fn set_chaos_with_lease(&mut self, mut cfg: ChaosConfig, lease_term: Option<Nanos>) {
+        if cfg.link_latency == 0 {
+            cfg.link_latency = self.cluster.host_mut(self.primary).costs.repl_link_latency;
+        }
+        let term = lease_term.unwrap_or(
+            (self.cfg.heartbeat_misses as Nanos + 2) * self.cfg.heartbeat_interval,
+        );
+        let now = self.cluster.clock.now();
+        let hb = ChaosLink::new(LinkDir::AtoB, cfg.link_latency, cfg.schedule.clone());
+        self.chaos = Some(ChaosState {
+            hb,
+            holder: Lease::new(term, now),
+            grant: Lease::new(term, now),
+            last_beat_delivered: now,
+            holder_was_valid: true,
+            in_partition: false,
+            partition_started_at: None,
+            acks_attempted: 0,
+            stats: ChaosStats::default(),
+            cfg,
+        });
+    }
+
+    /// Chaos counters so far (None if [`RunHarness::set_chaos`] was never
+    /// called).
+    pub fn chaos_stats(&self) -> Option<ChaosStats> {
+        self.chaos.as_ref().map(|c| c.stats)
+    }
+
+    /// Whether replication is currently driving epochs (false after a
+    /// non-rearm failover or backup loss).
+    pub fn replication_active(&self) -> bool {
+        matches!(self.mode, RunMode::Replicated(_))
+    }
+
+    /// Byte snapshot of the active container's guest heap: `pages` pages per
+    /// worker process, unmapped pages reading as zeros. This is the
+    /// committed-state probe behind the chaos matrix's byte-identical check
+    /// (the `tests/cow_equivalence.rs` pattern as a harness method).
+    pub fn snapshot_heap(&mut self, pages: u64) -> Vec<u8> {
+        let host = self.active_host();
+        let mut out = Vec::new();
+        for pid in self.container.workers.clone() {
+            for page in 0..pages {
+                let mut buf = vec![0u8; PAGE_SIZE];
+                let _ = self
+                    .cluster
+                    .host_mut(host)
+                    .mem_read(pid, MemLayout::heap_page(page), &mut buf);
+                out.extend_from_slice(&buf);
+            }
+        }
+        out
     }
 
     /// Attach a [`Tracer`]: the harness, the engine, and the failure
@@ -439,6 +569,186 @@ impl RunHarness {
     }
 
     // ------------------------------------------------------------------
+    // Chaos extension: faulty links, leases, fencing
+    // ------------------------------------------------------------------
+
+    /// Route a heartbeat: directly to the detector (paper path), or into the
+    /// chaos link, to be delivered by a later [`RunHarness::chaos_deliver_beats`].
+    fn chaos_beat(&mut self, t: Nanos) {
+        match self.chaos.as_mut() {
+            Some(ch) => ch.hb.send(t, t),
+            None => self.detector.on_beat(t),
+        }
+    }
+
+    /// Deliver every chaos-link heartbeat due by `now` (no-op without chaos).
+    fn chaos_deliver_beats(&mut self, now: Nanos) {
+        if let Some(ch) = self.chaos.as_mut() {
+            for (at, _sent) in ch.hb.poll(now) {
+                ch.last_beat_delivered = ch.last_beat_delivered.max(at);
+                self.detector.on_beat(at);
+            }
+        }
+    }
+
+    /// Emit `PartitionStart`/`PartitionHeal`/`LeaseExpire` markers on
+    /// schedule and lease edges.
+    fn chaos_edges(&mut self, now: Nanos) {
+        let Some(ch) = self.chaos.as_mut() else {
+            return;
+        };
+        let part = ch.cfg.schedule.partitioned(now);
+        if part && !ch.in_partition {
+            ch.in_partition = true;
+            ch.partition_started_at = Some(now);
+            ch.stats.partitions += 1;
+            self.tracer.event_at(TraceEvent::PartitionStart, now);
+        } else if !part && ch.in_partition {
+            ch.in_partition = false;
+            self.tracer.event_at(TraceEvent::PartitionHeal, now);
+        }
+        if ch.holder_was_valid && !ch.holder.valid_at(now) {
+            ch.holder_was_valid = false;
+            ch.stats.lease_expiries += 1;
+            self.tracer.event_at(
+                TraceEvent::LeaseExpire {
+                    at: ch.holder.expires_at(),
+                },
+                ch.holder.expires_at(),
+            );
+        }
+    }
+
+    /// Flush the deferred output release, if any. If the primary's lease is
+    /// still valid at the logical release time, release and deliver;
+    /// otherwise *fence*: the packets stay plugged (they ride the next valid
+    /// release, or die with the primary) and only the event is emitted.
+    fn chaos_flush_pending(&mut self, _now: Nanos) -> SimResult<()> {
+        let Some(pr) = self.pending_release.take() else {
+            return Ok(());
+        };
+        let valid = self
+            .chaos
+            .as_ref()
+            .expect("pending release without chaos state")
+            .holder
+            .valid_at(pr.release_time);
+        if !valid {
+            self.tracer.event_at(
+                TraceEvent::FencedOutput {
+                    packets: pr.receipts.len() as u64,
+                },
+                pr.release_time,
+            );
+            self.chaos.as_mut().expect("chaos").stats.fenced_releases += 1;
+            self.held.extend(pr.receipts);
+            return Ok(());
+        }
+        let ns = self.container.ns.net;
+        let released = self
+            .cluster
+            .host_mut(self.primary)
+            .stack_mut(ns)?
+            .release_output();
+        self.tracer.event_at(
+            TraceEvent::OutputRelease {
+                packets: released as u64,
+            },
+            pr.release_time,
+        );
+        self.cluster.pump();
+        let cl = self
+            .cluster
+            .host_mut(self.primary)
+            .costs
+            .client_link_latency;
+        let held = std::mem::take(&mut self.held);
+        for (remote, t_done) in held.into_iter().chain(pr.receipts) {
+            let receipt = t_done.max(pr.release_time) + cl;
+            self.receipts.entry(remote).or_default().push_back(receipt);
+        }
+        self.client_collect(pr.release_time)?;
+        Ok(())
+    }
+
+    /// Chaos-mode epoch prologue: flush the deferred release, trace schedule
+    /// edges, deliver in-flight heartbeats, then resolve any standing
+    /// suspicion — rescind it if a later beat arrived (false positive), or
+    /// promote the backup once the *granted* lease has expired. Returns true
+    /// if a promotion consumed this epoch slot.
+    fn chaos_prologue(&mut self) -> SimResult<bool> {
+        let now = self.cluster.clock.now();
+        self.chaos_flush_pending(now)?;
+        self.chaos_edges(now);
+        self.chaos_deliver_beats(now);
+        if !matches!(self.mode, RunMode::Replicated(_)) {
+            return Ok(false);
+        }
+        if self.detector.check(now) {
+            let det = self.detector.detected_at().expect("check returned true");
+            let (late_beat, grant_expiry) = {
+                let ch = self.chaos.as_ref().expect("chaos prologue");
+                (ch.last_beat_delivered, ch.grant.expires_at())
+            };
+            if late_beat > det {
+                // A beat arrived after the suspicion began: false positive.
+                // The lease gate bought the time to notice — rescind.
+                self.tracer.event_at(
+                    TraceEvent::FalseSuspicion {
+                        suspected_for: late_beat - det,
+                    },
+                    late_beat,
+                );
+                self.detector.rescind(late_beat);
+                self.chaos.as_mut().expect("chaos").stats.false_suspicions += 1;
+            } else if now >= grant_expiry {
+                self.chaos_promote(now)?;
+                return Ok(true);
+            }
+            // Suspicion stands but the grant is still live: the backup
+            // waits — exactly the delay that prevents split-brain.
+        }
+        Ok(false)
+    }
+
+    /// Promote the backup on granted-lease expiry (the primary may be alive
+    /// but unreachable — a partition, not a fault). Safe because the
+    /// primary's own lease expired strictly earlier, so it is already
+    /// fenced: its plugged output can never be released. Checked, not
+    /// assumed — a violation is reported as split-brain and fails the run.
+    fn chaos_promote(&mut self, now: Nanos) -> SimResult<()> {
+        {
+            let ch = self.chaos.as_mut().expect("chaos promote");
+            if ch.holder.valid_at(now) {
+                ch.stats.split_brain = true;
+                return Err(SimError::Invalid(format!(
+                    "split-brain: promoting at {now}ns while the primary's output lease is \
+                     valid until {}ns",
+                    ch.holder.expires_at()
+                )));
+            }
+        }
+        // The fenced primary withdraws (fail-stop its traffic); whatever it
+        // still held plugged is discarded exactly as at a real fault.
+        self.cluster.partition(self.primary);
+        let voided: Vec<(Endpoint, Nanos)> = self
+            .pending_release
+            .take()
+            .map(|p| p.receipts)
+            .unwrap_or_default();
+        // "Detection latency" for a partition is measured from its start.
+        let since = self
+            .chaos
+            .as_ref()
+            .expect("chaos")
+            .partition_started_at
+            .unwrap_or(now);
+        let latency = now.saturating_sub(since);
+        self.detection_latency = Some(latency);
+        self.promote_backup(latency, voided)
+    }
+
+    // ------------------------------------------------------------------
     // The epoch loop
     // ------------------------------------------------------------------
 
@@ -450,6 +760,22 @@ impl RunHarness {
                 break;
             }
             let now = self.cluster.clock.now();
+            // Chaos: a release that logically precedes the next fault
+            // flushes first; a fault landing inside the release gap leaves
+            // it pending — the fault handler voids it
+            // (fault-during-output-release) or flushes it (backup faults:
+            // the ack had already committed).
+            if let Some(release_time) = self.pending_release.as_ref().map(|p| p.release_time) {
+                let next_fault = match (self.faults.front(), self.backup_faults.front()) {
+                    (Some(&p), Some(&b)) => Some(p.min(b)),
+                    (Some(&p), None) => Some(p),
+                    (None, Some(&b)) => Some(b),
+                    (None, None) => None,
+                };
+                if next_fault.is_none_or(|f| release_time <= f) {
+                    self.chaos_flush_pending(now)?;
+                }
+            }
             let horizon = now + self.cfg.epoch_exec;
             let bf_due = self.backup_faults.front().is_some_and(|&t| t <= horizon);
             let pf_due = self.faults.front().is_some_and(|&t| t <= horizon);
@@ -489,6 +815,10 @@ impl RunHarness {
     }
 
     fn run_one_epoch(&mut self) -> SimResult<()> {
+        if self.chaos.is_some() && self.chaos_prologue()? {
+            // A lease-expiry promotion consumed this epoch slot.
+            return Ok(());
+        }
         let exec_start = self.cluster.clock.now();
         let host = self.active_host();
         self.tracer.begin_epoch(self.epoch, exec_start);
@@ -572,7 +902,7 @@ impl RunHarness {
         // --- Heartbeat ---------------------------------------------------
         let cpuacct = self.cluster.host_mut(host).cgroups.cpuacct_usage(cg);
         if self.sender.tick(cpuacct) && !self.cluster.is_partitioned(host) {
-            self.detector.on_beat(epoch_end);
+            self.chaos_beat(epoch_end);
         }
 
         // --- Stop phase / release ----------------------------------------
@@ -611,6 +941,27 @@ impl RunHarness {
                     ..Default::default()
                 });
             }
+        } else if self
+            .chaos
+            .as_ref()
+            .is_some_and(|ch| ch.cfg.schedule.blocked(epoch_end, LinkDir::AtoB))
+        {
+            // Chaos: the transfer direction is cut at the epoch boundary —
+            // the checkpoint cannot reach the backup, so the epoch *stalls*:
+            // no stop phase, output stays plugged, and the dirty state
+            // accumulates into the first post-heal checkpoint (soft-dirty
+            // tracking is cumulative until cleared by a dump). The backup
+            // sees silence and starts suspecting.
+            self.held.extend(completions);
+            self.chaos.as_mut().expect("chaos").stats.stalled_epochs += 1;
+            self.metrics.push(EpochRecord {
+                epoch,
+                exec_cpu: consumed,
+                tracking_overhead,
+                requests_done,
+                steps_done,
+                ..Default::default()
+            });
         } else {
             let outcome = {
                 let RunMode::Replicated(engine) = &mut self.mode else {
@@ -621,60 +972,141 @@ impl RunHarness {
             };
             self.cluster.clock.advance(outcome.stop_time);
             self.last_stop = outcome.stop_time;
+            // Chaos delay spikes stretch the ack round-trip (transfer out
+            // plus ack back). With a staging engine the stretch is an
+            // explicit ack-phase span so the reconciliation identity still
+            // tiles; inline engines (ack_delay == 0) get a zero-duration
+            // marker instead, since their ack spans are already folded into
+            // the stop time.
+            let chaos_extra = self
+                .chaos
+                .as_ref()
+                .map_or(0, |ch| 2 * ch.cfg.schedule.delay_extra(epoch_end));
+            if chaos_extra > 0 {
+                if outcome.ack_delay > 0 {
+                    self.tracer
+                        .span(TraceEvent::ChaosDelay { extra: chaos_extra }, chaos_extra);
+                } else {
+                    self.tracer.mark(TraceEvent::ChaosDelay { extra: chaos_extra });
+                }
+            }
+            let traced_ack = if outcome.ack_delay > 0 {
+                outcome.ack_delay + chaos_extra
+            } else {
+                outcome.ack_delay
+            };
             // The engine's phase spans must tile exactly the stop time and
             // ack delay it reported (the OBSERVABILITY.md invariant).
             self.tracer
-                .reconcile(epoch, outcome.stop_time, outcome.ack_delay)
+                .reconcile(epoch, outcome.stop_time, traced_ack)
                 .map_err(SimError::Invalid)?;
-            let release_time = self.cluster.clock.now() + outcome.ack_delay;
+            let release_time = self.cluster.clock.now() + outcome.ack_delay + chaos_extra;
 
-            // Mechanically release now; logically at release_time.
-            let ns = self.container.ns.net;
-            let released = self
-                .cluster
-                .host_mut(self.primary)
-                .stack_mut(ns)?
-                .release_output();
-            self.tracer.event_at(
-                TraceEvent::OutputRelease {
-                    packets: released as u64,
-                },
-                release_time,
-            );
-            self.cluster.pump();
-            let commit_cpu = {
-                let RunMode::Replicated(engine) = &mut self.mode else {
-                    unreachable!()
+            if let Some(ch) = self.chaos.as_mut() {
+                // Chaos: the backup commits regardless (the transfer went
+                // through); only the ack's return leg can differ.
+                let ack_lost = if ch.cfg.schedule.blocked(release_time, LinkDir::BtoA) {
+                    true
+                } else if let Some(n) =
+                    ch.cfg.schedule.loss_period(release_time, LinkDir::BtoA)
+                {
+                    ch.acks_attempted += 1;
+                    ch.acks_attempted.is_multiple_of(n)
+                } else {
+                    false
                 };
-                let (_pk, bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
-                engine.commit(bk, epoch)?
-            };
+                let commit_cpu = {
+                    let RunMode::Replicated(engine) = &mut self.mode else {
+                        unreachable!()
+                    };
+                    let (_pk, bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
+                    engine.commit(bk, epoch)?
+                };
+                if ack_lost {
+                    // The primary never learns: no release, no lease
+                    // renewal. The completions ride the next acked epoch.
+                    ch.stats.withheld_acks += 1;
+                    self.held.extend(completions);
+                } else {
+                    // The ack doubles as a lease grant: the primary anchors
+                    // at its own checkpoint start (epoch end), the backup at
+                    // the ack's completion — holder expiry ≤ granted expiry,
+                    // the exactly-one-owner ordering. The release itself is
+                    // deferred to the epoch boundary so a fault inside the
+                    // gap can void it.
+                    ch.holder.grant(epoch_end);
+                    ch.grant.grant(release_time);
+                    ch.holder_was_valid = true;
+                    let until = ch.holder.expires_at();
+                    self.tracer
+                        .event_at(TraceEvent::LeaseAcquire { until }, release_time);
+                    self.pending_release = Some(PendingRelease {
+                        release_time,
+                        receipts: completions,
+                    });
+                }
+                self.metrics.push(EpochRecord {
+                    epoch,
+                    stop_time: outcome.stop_time,
+                    dirty_pages: outcome.dirty_pages,
+                    state_bytes: outcome.state_bytes,
+                    ack_delay: outcome.ack_delay + chaos_extra,
+                    exec_cpu: consumed,
+                    tracking_overhead,
+                    backup_cpu: outcome.backup_cpu + commit_cpu,
+                    requests_done,
+                    steps_done,
+                });
+            } else {
+                // Paper path: mechanically release now; logically at
+                // release_time.
+                let ns = self.container.ns.net;
+                let released = self
+                    .cluster
+                    .host_mut(self.primary)
+                    .stack_mut(ns)?
+                    .release_output();
+                self.tracer.event_at(
+                    TraceEvent::OutputRelease {
+                        packets: released as u64,
+                    },
+                    release_time,
+                );
+                self.cluster.pump();
+                let commit_cpu = {
+                    let RunMode::Replicated(engine) = &mut self.mode else {
+                        unreachable!()
+                    };
+                    let (_pk, bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
+                    engine.commit(bk, epoch)?
+                };
 
-            let cl = self
-                .cluster
-                .host_mut(self.primary)
-                .costs
-                .client_link_latency;
-            // Bootstrap-era completions (if any) ride this epoch's release:
-            // this is the first commit whose image covers them.
-            let held = std::mem::take(&mut self.held);
-            for (remote, t_done) in held.into_iter().chain(completions) {
-                let receipt = t_done.max(release_time) + cl;
-                self.receipts.entry(remote).or_default().push_back(receipt);
+                let cl = self
+                    .cluster
+                    .host_mut(self.primary)
+                    .costs
+                    .client_link_latency;
+                // Bootstrap-era completions (if any) ride this epoch's
+                // release: this is the first commit whose image covers them.
+                let held = std::mem::take(&mut self.held);
+                for (remote, t_done) in held.into_iter().chain(completions) {
+                    let receipt = t_done.max(release_time) + cl;
+                    self.receipts.entry(remote).or_default().push_back(receipt);
+                }
+                self.client_collect(release_time)?;
+                self.metrics.push(EpochRecord {
+                    epoch,
+                    stop_time: outcome.stop_time,
+                    dirty_pages: outcome.dirty_pages,
+                    state_bytes: outcome.state_bytes,
+                    ack_delay: outcome.ack_delay,
+                    exec_cpu: consumed,
+                    tracking_overhead,
+                    backup_cpu: outcome.backup_cpu + commit_cpu,
+                    requests_done,
+                    steps_done,
+                });
             }
-            self.client_collect(release_time)?;
-            self.metrics.push(EpochRecord {
-                epoch,
-                stop_time: outcome.stop_time,
-                dirty_pages: outcome.dirty_pages,
-                state_bytes: outcome.state_bytes,
-                ack_delay: outcome.ack_delay,
-                exec_cpu: consumed,
-                tracking_overhead,
-                backup_cpu: outcome.backup_cpu + commit_cpu,
-                requests_done,
-                steps_done,
-            });
         }
 
         // The epoch (including its stop phase) completed healthy: the agent
@@ -682,7 +1114,7 @@ impl RunHarness {
         // checkpoint; gating on cpuacct exists to catch *container* hangs.)
         let now = self.cluster.clock.now();
         if !self.cluster.is_partitioned(host) {
-            self.detector.on_beat(now);
+            self.chaos_beat(now);
         }
         self.epoch += 1;
         Ok(())
@@ -738,21 +1170,63 @@ impl RunHarness {
         // Fail-stop: block all primary traffic (§VII-A).
         self.cluster.clock.advance_to(fault_time);
         self.cluster.partition(self.primary);
+        // Chaos: a release deferred past the fault dies with the primary.
+        // The plugged packets were never unplugged, so they are discarded
+        // with the rest of the uncommitted output, never duplicated.
+        let voided = self
+            .pending_release
+            .take()
+            .map_or_else(Vec::new, |pr| pr.receipts);
 
         // Detection: the detector only changes state on its own heartbeat
-        // grid, so poll along the beat boundaries.
+        // grid, so poll along the beat boundaries. Under chaos, beats still
+        // in flight (delayed or heal-flushed) keep landing while we wait.
         let mut t = self.detector.next_boundary(fault_time);
-        while !self.detector.check(t) {
+        loop {
+            self.chaos_deliver_beats(t);
+            if self.detector.check(t) {
+                break;
+            }
             t += self.cfg.heartbeat_interval;
         }
         let detected = self.detector.detected_at().expect("check returned true");
-        self.cluster.clock.advance_to(detected.max(fault_time));
-        let latency = self
-            .detector
-            .detection_latency(fault_time)?
-            .expect("check returned true");
+        let mut act = detected.max(fault_time);
+        if let Some(ch) = &self.chaos {
+            // Fencing: promotion additionally waits out the granted lease,
+            // so even a falsely-suspected primary can no longer release.
+            act = act.max(ch.grant.expires_at());
+        }
+        self.cluster.clock.advance_to(act);
+        let latency = if self.chaos.is_some() {
+            // A standing suspicion (from a partition, say) may predate the
+            // injected fault; the silence simply continues.
+            detected.saturating_sub(fault_time)
+        } else {
+            self.detector
+                .detection_latency(fault_time)?
+                .expect("check returned true")
+        };
         self.detection_latency = Some(latency);
+        if let Some(ch) = &mut self.chaos {
+            let now = self.cluster.clock.now();
+            if ch.holder.valid_at(now) {
+                ch.stats.split_brain = true;
+                return Err(SimError::Invalid(format!(
+                    "split-brain: promoting at {now}ns while the primary's \
+                     output lease is valid until {}ns",
+                    ch.holder.expires_at()
+                )));
+            }
+        }
+        self.promote_backup(latency, voided)
+    }
 
+    /// The failover tail: restore on the backup, move the address, discard
+    /// uncommitted output, retransmit, and either re-arm or degrade. Shared
+    /// by the injected-fault path ([`Self::do_failover`]) and the
+    /// chaos-detected path ([`Self::chaos_promote`]); `voided` are receipts
+    /// from a deferred release that died with the primary.
+    fn promote_backup(&mut self, latency: Nanos, voided: Vec<(Endpoint, Nanos)>) -> SimResult<()> {
         // Failover on the backup.
         let (restored, report) = {
             let RunMode::Replicated(engine) = &mut self.mode else {
@@ -783,8 +1257,9 @@ impl RunHarness {
 
         // Uncommitted driver-side buffers are garbage now: the clients will
         // retransmit anything the committed state has not consumed. Held
-        // bootstrap-era completions were never released — discarded too.
-        let discarded = (self.pending.len() + self.held.len()) as u64;
+        // bootstrap-era completions were never released — discarded too, as
+        // is any deferred release voided by the fault.
+        let discarded = (self.pending.len() + self.held.len() + voided.len()) as u64;
         self.tracer.event_at(
             TraceEvent::OutputDiscard { packets: discarded },
             self.cluster.clock.now(),
@@ -861,6 +1336,10 @@ impl RunHarness {
     /// unreplicated service.
     fn handle_backup_fault(&mut self, t: Nanos) -> SimResult<()> {
         self.cluster.clock.advance_to(t);
+        // A deferred release whose ack already committed is legitimate: the
+        // backup acknowledged the covering epoch before it died, so flush it
+        // (lease validity holds by construction — the ack renewed it).
+        self.chaos_flush_pending(t)?;
         if let RearmState::Bootstrapping { attempt, .. } = self.rearm {
             // The replacement died mid-bootstrap: unwind the COW set, drop
             // the half-assembled image, keep serving, retry later.
@@ -1019,6 +1498,14 @@ impl RunHarness {
                 now,
             );
             self.detector.set_tracer(self.tracer.clone());
+            if let Some(ch) = self.chaos.as_mut() {
+                // Fresh pair, fresh fences: re-anchor both leases at `now`
+                // so a grant left over from before the fault cannot
+                // green-light an instant promotion.
+                ch.holder.grant(now);
+                ch.grant.grant(now);
+                ch.holder_was_valid = true;
+            }
             self.tracer
                 .event_at(TraceEvent::RearmComplete { pages, bytes }, now);
         } else {
@@ -1034,6 +1521,12 @@ impl RunHarness {
 
     /// Finish the run: validate and hand back the results.
     pub fn finish(mut self) -> RunResult {
+        // Flush a deferred release still sitting at the end of the run (its
+        // ack committed; only the epoch boundary never came).
+        if self.pending_release.is_some() {
+            let now = self.cluster.clock.now();
+            let _ = self.chaos_flush_pending(now);
+        }
         let _ = self.tracer.flush();
         self.metrics.elapsed = self.cluster.clock.now();
         let broken = match self.pool.as_mut() {

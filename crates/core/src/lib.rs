@@ -95,9 +95,9 @@ pub mod traffic;
 
 pub use backup::DiscardCounts;
 pub use config::{OptimizationConfig, ReplicationConfig};
-pub use detector::FailureDetector;
+pub use detector::{FailureDetector, Lease};
 pub use engine::{BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport};
-pub use harness::{RunHarness, RunMode, RunResult};
+pub use harness::{ChaosStats, RunHarness, RunMode, RunResult};
 pub use metrics::{percentile, EpochRecord, RunMetrics};
 pub use nilicon_engine::NiLiConEngine;
 pub use trace::{TraceEvent, TraceRecord, TraceSink, Tracer};

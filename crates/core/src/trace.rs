@@ -238,6 +238,48 @@ pub enum TraceEvent {
         /// Remaining recovery bookkeeping (ns).
         others: Nanos,
     },
+    /// A chaos-schedule fault window opened a partition of the replication/
+    /// heartbeat link (chaos extension; marker at the first epoch boundary
+    /// inside the window).
+    PartitionStart,
+    /// The partition healed: link-held traffic flushes in FIFO order (chaos
+    /// extension; marker at the first epoch boundary past the window).
+    PartitionHeal,
+    /// The backup's epoch ack granted (renewed) the primary's output-release
+    /// lease (chaos extension; emitted at the ack's arrival time).
+    LeaseAcquire {
+        /// The *primary's* conservative expiry — anchored at its own
+        /// checkpoint-start time, so always ≤ the backup's granted expiry.
+        until: Nanos,
+    },
+    /// The primary's lease lapsed un-renewed: output release fences until a
+    /// later ack renews it (chaos extension).
+    LeaseExpire {
+        /// The expiry instant that passed.
+        at: Nanos,
+    },
+    /// An output release was withheld because the lease had expired — the
+    /// exactly-one-owner fence in action (chaos extension). The packets stay
+    /// plugged and ride the next valid release.
+    FencedOutput {
+        /// Packets withheld.
+        packets: u64,
+    },
+    /// A failure suspicion was cancelled by a late heartbeat before the
+    /// lease gate allowed promotion: a detector false positive under
+    /// delay/loss (chaos extension).
+    FalseSuspicion {
+        /// How long the suspicion stood before the rescinding beat (ns).
+        suspected_for: Nanos,
+    },
+    /// Extra replication-link delay the chaos schedule injected into this
+    /// epoch's ack round-trip (chaos extension; an ack-phase *span* — it
+    /// participates in the ack reconciliation identity, see
+    /// OBSERVABILITY.md).
+    ChaosDelay {
+        /// Added round-trip delay (ns).
+        extra: Nanos,
+    },
 }
 
 impl TraceEvent {
@@ -266,6 +308,13 @@ impl TraceEvent {
             TraceEvent::BootstrapChunk { .. } => "BootstrapChunk",
             TraceEvent::RearmComplete { .. } => "RearmComplete",
             TraceEvent::Failover { .. } => "Failover",
+            TraceEvent::PartitionStart => "PartitionStart",
+            TraceEvent::PartitionHeal => "PartitionHeal",
+            TraceEvent::LeaseAcquire { .. } => "LeaseAcquire",
+            TraceEvent::LeaseExpire { .. } => "LeaseExpire",
+            TraceEvent::FencedOutput { .. } => "FencedOutput",
+            TraceEvent::FalseSuspicion { .. } => "FalseSuspicion",
+            TraceEvent::ChaosDelay { .. } => "ChaosDelay",
         }
     }
 
@@ -288,6 +337,7 @@ impl TraceEvent {
                 | TraceEvent::Transfer { .. }
                 | TraceEvent::BackupIngest { .. }
                 | TraceEvent::Ack
+                | TraceEvent::ChaosDelay { .. }
         )
     }
 }
@@ -308,6 +358,8 @@ impl serde::ser::Serialize for TraceEvent {
             TraceEvent::Freeze => Value::Str("Freeze".into()),
             TraceEvent::LocalCopy => Value::Str("LocalCopy".into()),
             TraceEvent::Ack => Value::Str("Ack".into()),
+            TraceEvent::PartitionStart => Value::Str("PartitionStart".into()),
+            TraceEvent::PartitionHeal => Value::Str("PartitionHeal".into()),
             TraceEvent::RunStart { name, mode } => tagged(
                 "RunStart",
                 vec![
@@ -418,6 +470,20 @@ impl serde::ser::Serialize for TraceEvent {
                     ("others".into(), u(*others)),
                 ],
             ),
+            TraceEvent::LeaseAcquire { until } => {
+                tagged("LeaseAcquire", vec![("until".into(), u(*until))])
+            }
+            TraceEvent::LeaseExpire { at } => tagged("LeaseExpire", vec![("at".into(), u(*at))]),
+            TraceEvent::FencedOutput { packets } => {
+                tagged("FencedOutput", vec![("packets".into(), u(*packets))])
+            }
+            TraceEvent::FalseSuspicion { suspected_for } => tagged(
+                "FalseSuspicion",
+                vec![("suspected_for".into(), u(*suspected_for))],
+            ),
+            TraceEvent::ChaosDelay { extra } => {
+                tagged("ChaosDelay", vec![("extra".into(), u(*extra))])
+            }
         }
     }
 }
@@ -429,6 +495,8 @@ impl serde::de::Deserialize for TraceEvent {
                 "Freeze" => Ok(TraceEvent::Freeze),
                 "LocalCopy" => Ok(TraceEvent::LocalCopy),
                 "Ack" => Ok(TraceEvent::Ack),
+                "PartitionStart" => Ok(TraceEvent::PartitionStart),
+                "PartitionHeal" => Ok(TraceEvent::PartitionHeal),
                 other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
             };
         }
@@ -518,6 +586,21 @@ impl serde::de::Deserialize for TraceEvent {
                 arp: f(fields, "arp")?,
                 tcp: f(fields, "tcp")?,
                 others: f(fields, "others")?,
+            }),
+            "LeaseAcquire" => Ok(TraceEvent::LeaseAcquire {
+                until: f(fields, "until")?,
+            }),
+            "LeaseExpire" => Ok(TraceEvent::LeaseExpire {
+                at: f(fields, "at")?,
+            }),
+            "FencedOutput" => Ok(TraceEvent::FencedOutput {
+                packets: f(fields, "packets")?,
+            }),
+            "FalseSuspicion" => Ok(TraceEvent::FalseSuspicion {
+                suspected_for: f(fields, "suspected_for")?,
+            }),
+            "ChaosDelay" => Ok(TraceEvent::ChaosDelay {
+                extra: f(fields, "extra")?,
             }),
             other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
         }
@@ -1002,6 +1085,15 @@ mod tests {
                 tcp: 54,
                 others: 7,
             },
+            TraceEvent::PartitionStart,
+            TraceEvent::PartitionHeal,
+            TraceEvent::LeaseAcquire { until: 550_000_000 },
+            TraceEvent::LeaseExpire { at: 550_000_000 },
+            TraceEvent::FencedOutput { packets: 9 },
+            TraceEvent::FalseSuspicion {
+                suspected_for: 20_000_000,
+            },
+            TraceEvent::ChaosDelay { extra: 160_000_000 },
         ];
         for kind in variants {
             let rec = TraceRecord {

@@ -9,10 +9,12 @@
 //! RST generation for orphaned packets, retransmission timeouts (1 s default
 //! vs the paper's 200 ms repair-mode minimum), and packet loss at failover.
 
+mod chaos;
 mod qdisc;
 mod stack;
 mod tcp;
 
+pub use chaos::{ChaosConfig, ChaosLink, ChaosSchedule, FaultKind, FaultWindow, LinkDir};
 pub use qdisc::{InputGate, InputMode, PlugQdisc};
 pub use stack::{NetStack, SocketQueueStats};
 pub use tcp::{Packet, RepairState, TcpFlags, TcpSocket, TcpState};

@@ -1,0 +1,85 @@
+//! Doc check: every `TraceEvent` variant must be documented in
+//! OBSERVABILITY.md — the trace schema is a contract, and an event that
+//! ships without documentation is unreconcilable by readers of the traces.
+
+/// Extract the variant names of `pub enum TraceEvent` from the source text.
+fn trace_event_variants(src: &str) -> Vec<String> {
+    let start = src
+        .find("pub enum TraceEvent")
+        .expect("trace.rs declares TraceEvent");
+    let body = &src[start..];
+    let open = body.find('{').expect("enum body");
+    let mut depth = 0usize;
+    let mut end = open;
+    for (i, c) in body[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    end = open + i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut variants = Vec::new();
+    let mut brace = 0usize;
+    for line in body[open + 1..end].lines() {
+        let t = line.trim();
+        // Only top-level variant lines: skip doc comments, attributes, and
+        // the field lines inside a struct variant's braces.
+        if brace == 0
+            && !t.starts_with("///")
+            && !t.starts_with("//")
+            && !t.starts_with('#')
+            && t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+        {
+            let name: String = t
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric())
+                .collect();
+            if !name.is_empty() {
+                variants.push(name);
+            }
+        }
+        brace += line.matches('{').count();
+        brace = brace.saturating_sub(line.matches('}').count());
+    }
+    variants
+}
+
+#[test]
+fn every_trace_event_variant_is_documented_in_observability_md() {
+    let src = include_str!("../crates/core/src/trace.rs");
+    let doc = include_str!("../OBSERVABILITY.md");
+    let variants = trace_event_variants(src);
+    assert!(
+        variants.len() >= 20,
+        "parser found only {} variants — parsing broke?",
+        variants.len()
+    );
+    let missing: Vec<&String> = variants.iter().filter(|v| !doc.contains(v.as_str())).collect();
+    assert!(
+        missing.is_empty(),
+        "TraceEvent variants missing from OBSERVABILITY.md: {missing:?}"
+    );
+}
+
+#[test]
+fn chaos_events_are_among_the_parsed_variants() {
+    let src = include_str!("../crates/core/src/trace.rs");
+    let variants = trace_event_variants(src);
+    for v in [
+        "PartitionStart",
+        "PartitionHeal",
+        "LeaseAcquire",
+        "LeaseExpire",
+        "FencedOutput",
+        "FalseSuspicion",
+        "ChaosDelay",
+    ] {
+        assert!(variants.contains(&v.to_string()), "parser misses {v}");
+    }
+}
