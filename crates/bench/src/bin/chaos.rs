@@ -84,6 +84,17 @@ fn main() {
         eprintln!("FATAL: split-brain cell(s) present");
         std::process::exit(1);
     }
+    // Belt-and-suspenders: `recovered` is only claimable with the
+    // byte-identical replay check green (classify() enforces this; assert
+    // it independently so a classifier regression can't slip through).
+    let unbacked = cells
+        .iter()
+        .filter(|c| c.outcome == Outcome::Recovered && !c.state.state_ok)
+        .count();
+    if unbacked > 0 {
+        eprintln!("FATAL: {unbacked} recovered cell(s) without byte-identical replay");
+        std::process::exit(1);
+    }
     if !surprises.is_empty() {
         eprintln!("FATAL: outcome(s) diverged from the failure-mode catalog");
         std::process::exit(1);

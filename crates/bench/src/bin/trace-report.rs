@@ -26,6 +26,7 @@ const PHASES: &[&str] = &[
     "DeltaEncode",
     "LocalCopy",
     "CowCopy",
+    "ShardCommit",
     "Transfer",
     "BackupIngest",
     "Ack",
@@ -62,6 +63,16 @@ struct Section {
     bootstrap_pages: u64,
     bootstrap_bytes: u64,
     rearm_completes: u64,
+    shard_fanout: u64,
+    shard_pages: u64,
+    shard_frag_bytes: u64,
+    degraded_events: u64,
+    repair_starts: u64,
+    repair_kinds: BTreeSet<String>,
+    repair_chunks: u64,
+    repair_pages: u64,
+    repair_bytes: u64,
+    repair_completes: u64,
     failovers: Vec<TraceEvent>,
 }
 
@@ -85,6 +96,7 @@ impl Section {
                 | TraceEvent::DeltaEncode { .. }
                 | TraceEvent::LocalCopy
                 | TraceEvent::CowCopy { .. }
+                | TraceEvent::ShardCommit { .. }
                 | TraceEvent::Transfer { .. }
                 | TraceEvent::BackupIngest { .. }
                 | TraceEvent::Ack
@@ -132,6 +144,26 @@ impl Section {
                 self.bootstrap_bytes += bytes;
             }
             TraceEvent::RearmComplete { .. } => self.rearm_completes += 1,
+            TraceEvent::ShardCommit {
+                shards,
+                pages,
+                frag_bytes,
+            } => {
+                self.shard_fanout = self.shard_fanout.max(shards as u64);
+                self.shard_pages += pages;
+                self.shard_frag_bytes += frag_bytes;
+            }
+            TraceEvent::DegradedMode { .. } => self.degraded_events += 1,
+            TraceEvent::RepairStart { kind, .. } => {
+                self.repair_starts += 1;
+                self.repair_kinds.insert(kind);
+            }
+            TraceEvent::RepairChunk { pages, bytes } => {
+                self.repair_chunks += 1;
+                self.repair_pages += pages;
+                self.repair_bytes += bytes;
+            }
+            TraceEvent::RepairComplete { .. } => self.repair_completes += 1,
             ev @ TraceEvent::Failover { .. } => self.failovers.push(ev),
             _ => {}
         }
@@ -240,6 +272,29 @@ impl Section {
             println!(
                 "output discarded at failover: {} packets (never released to clients)",
                 self.discarded_packets
+            );
+        }
+        if self.shard_pages > 0 {
+            println!(
+                "placement: {} fragments per page fanned out, {} page-commits \
+                 ({} B of fragments per replica)",
+                self.shard_fanout, self.shard_pages, self.shard_frag_bytes,
+            );
+        }
+        if self.degraded_events > 0 {
+            println!("degraded-mode transitions: {}", self.degraded_events);
+        }
+        if self.repair_starts > 0 {
+            let kinds: Vec<&str> = self.repair_kinds.iter().map(String::as_str).collect();
+            println!(
+                "repair ({}): {} attempt(s), {} completed; {} chunks streamed \
+                 ({} pages, {} B incl. coded read amplification)",
+                kinds.join("+"),
+                self.repair_starts,
+                self.repair_completes,
+                self.repair_chunks,
+                self.repair_pages,
+                self.repair_bytes,
             );
         }
         if self.rearm_starts > 0 {

@@ -16,7 +16,7 @@
 //! A cell's outcome is the worse of the two.
 
 use nilicon::harness::{RunHarness, RunMode};
-use nilicon::{ChaosStats, NiLiConEngine, OptimizationConfig, ReplicationConfig};
+use nilicon::{ChaosStats, NiLiConEngine, OptimizationConfig, PlacementEngine, ReplicationConfig};
 use nilicon_container::{Application, ContainerSpec, GuestCtx, StepOutcome};
 use nilicon_sim::net::{ChaosConfig, ChaosSchedule, FaultKind, LinkDir};
 use nilicon_sim::time::Nanos;
@@ -161,10 +161,34 @@ pub struct Scenario {
     pub primary_fault: Option<Nanos>,
     /// Fail-stop the backup host at this time.
     pub backup_fault: Option<Nanos>,
+    /// Fail-stop the (replacement) backup host a second time — lands the
+    /// fault mid-repair in the placement scenarios.
+    pub backup_fault2: Option<Nanos>,
     /// Run with the re-replication extension armed.
     pub rearm: bool,
+    /// Run under a k-of-n placement instead of the single warm backup.
+    pub placement: Option<(u32, u32)>,
+    /// Override the per-epoch repair/bootstrap chunk (tiny chunks stretch a
+    /// repair across many epochs so mid-repair faults land reliably).
+    pub chunk_pages: Option<u64>,
     /// Expected outcome per the failure-mode catalog.
     pub expect: Outcome,
+}
+
+impl Default for Scenario {
+    fn default() -> Self {
+        Scenario {
+            name: "",
+            schedule: ChaosSchedule::default(),
+            primary_fault: None,
+            backup_fault: None,
+            backup_fault2: None,
+            rearm: false,
+            placement: None,
+            chunk_pages: None,
+            expect: Outcome::Recovered,
+        }
+    }
 }
 
 /// The scenario catalog, with every window and fault time shifted by
@@ -179,30 +203,21 @@ pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
             schedule: none
                 .clone()
                 .window(s(400 * MS), s(460 * MS), FaultKind::Partition),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "partition-false-positive",
             schedule: none
                 .clone()
                 .window(s(400 * MS), s(510 * MS), FaultKind::Partition),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "partition-long",
             schedule: none
                 .clone()
                 .window(s(400 * MS), s(2000 * MS), FaultKind::Partition),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "asym-loss-heartbeats",
@@ -214,10 +229,7 @@ pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
                     drop_nth: 2,
                 },
             ),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "asym-loss-acks",
@@ -229,10 +241,7 @@ pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
                     drop_nth: 1,
                 },
             ),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "delay-mild",
@@ -241,10 +250,7 @@ pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
                 s(700 * MS),
                 FaultKind::DelaySpike { extra: 20 * MS },
             ),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "delay-fence",
@@ -253,48 +259,72 @@ pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
                 s(700 * MS),
                 FaultKind::DelaySpike { extra: 80 * MS },
             ),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "reorder",
             schedule: none
                 .clone()
                 .window(s(400 * MS), s(700 * MS), FaultKind::Reorder),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "backup-fault-mid-epoch",
             schedule: none.clone(),
-            primary_fault: None,
             backup_fault: Some(s(415 * MS)),
-            rearm: false,
             expect: Outcome::Degraded,
+            ..Default::default()
         },
         Scenario {
             name: "backup-fault-rearm",
             schedule: none.clone(),
-            primary_fault: None,
             backup_fault: Some(s(415 * MS)),
             rearm: true,
-            expect: Outcome::Recovered,
+            ..Default::default()
         },
         Scenario {
             name: "fault-during-release",
-            schedule: none.window(
+            schedule: none.clone().window(
                 s(380 * MS),
                 s(500 * MS),
                 FaultKind::DelaySpike { extra: 10 * MS },
             ),
             primary_fault: Some(s(415 * MS)),
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
+        },
+        // ---- k-of-n placement scenarios: backup loss under (2,3) -------
+        // A replica death leaves the bare quorum serving; coded repair
+        // regenerates the lost fragment store online, so the run ends
+        // fully replicated with zero failovers: Recovered, not Degraded.
+        Scenario {
+            name: "backup-loss-mid-epoch",
+            schedule: none.clone(),
+            backup_fault: Some(s(415 * MS)),
+            placement: Some((2, 3)),
+            ..Default::default()
+        },
+        // The replacement host dies while the repair streams: the
+        // half-built fragment store is discarded and a backoff retry
+        // (small chunks stretch the stream so the second fault reliably
+        // lands mid-repair) restores redundancy.
+        Scenario {
+            name: "backup-loss-mid-repair",
+            schedule: none.clone(),
+            backup_fault: Some(s(415 * MS)),
+            backup_fault2: Some(s(575 * MS)),
+            placement: Some((2, 3)),
+            chunk_pages: Some(8),
+            ..Default::default()
+        },
+        // The replica dies inside a sub-lease partition window: the stalled
+        // epochs resume after heal, and the repair (scheduled during the
+        // partition) streams once commits flow again.
+        Scenario {
+            name: "backup-loss-in-partition",
+            schedule: none.window(s(430 * MS), s(540 * MS), FaultKind::Partition),
+            backup_fault: Some(s(470 * MS)),
+            placement: Some((2, 3)),
+            ..Default::default()
         },
     ]
 }
@@ -320,10 +350,29 @@ pub struct CellRun {
     pub error: Option<String>,
 }
 
-fn chaos_mode(rearm: bool) -> RunMode {
+fn chaos_mode(sc: &Scenario) -> RunMode {
     let mut opts = OptimizationConfig::nilicon();
-    opts.rearm = rearm;
-    RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())))
+    opts.rearm = sc.rearm;
+    match sc.placement {
+        Some((k, n)) => {
+            opts.quorum = k;
+            opts.backups = n;
+            RunMode::Replicated(Box::new(
+                PlacementEngine::new(opts, CostModel::default())
+                    .expect("valid catalog placement"),
+            ))
+        }
+        None => RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default()))),
+    }
+}
+
+/// The per-cell replication config: catalog chunk override applied.
+fn chaos_cfg(sc: &Scenario) -> ReplicationConfig {
+    let mut cfg = ReplicationConfig::default();
+    if let Some(chunk) = sc.chunk_pages {
+        cfg.rearm_chunk_pages = chunk;
+    }
+    cfg
 }
 
 /// Run the initial-sync epoch on the paper path, then arm the chaos link,
@@ -338,6 +387,9 @@ fn arm(h: &mut RunHarness, sc: &Scenario) -> Result<(), String> {
         h.inject_fault_at(t);
     }
     if let Some(t) = sc.backup_fault {
+        h.inject_backup_fault_at(t);
+    }
+    if let Some(t) = sc.backup_fault2 {
         h.inject_backup_fault_at(t);
     }
     Ok(())
@@ -375,8 +427,8 @@ pub fn run_state_cell(sc: &Scenario, epochs: u64) -> CellRun {
         spec,
         Box::new(ScriptApp::new()),
         None,
-        chaos_mode(sc.rearm),
-        ReplicationConfig::default(),
+        chaos_mode(sc),
+        chaos_cfg(sc),
         1.0,
     )
     .expect("harness");
@@ -422,8 +474,8 @@ pub fn run_service_cell(sc: &Scenario, epochs: u64) -> CellRun {
         w.spec,
         w.app,
         w.behavior,
-        chaos_mode(sc.rearm),
-        ReplicationConfig::default(),
+        chaos_mode(sc),
+        chaos_cfg(sc),
         w.parallelism,
     )
     .expect("harness");
@@ -527,6 +579,9 @@ mod tests {
             "backup-fault",
             "fault-during-release",
             "partition-false-positive",
+            "backup-loss-mid-epoch",
+            "backup-loss-mid-repair",
+            "backup-loss-in-partition",
         ] {
             assert!(
                 cat.iter().any(|s| s.name.contains(needle)),
@@ -539,11 +594,7 @@ mod tests {
     fn clean_state_run_is_recovered_and_byte_identical() {
         let sc = Scenario {
             name: "clean",
-            schedule: ChaosSchedule::default(),
-            primary_fault: None,
-            backup_fault: None,
-            rearm: false,
-            expect: Outcome::Recovered,
+            ..Default::default()
         };
         let cell = run_state_cell(&sc, 12);
         assert!(cell.state_ok, "clean run must replay byte-identically");

@@ -66,6 +66,17 @@ pub struct OptimizationConfig {
     /// epochs resume toward the new backup). The paper stops at a single
     /// failover, so this is off in every paper reproduction run.
     pub rearm: bool,
+    /// EXTENSION (placement): number of backup replicas `n`. Each committed
+    /// epoch's pages are erasure-coded into `n` fragments, one per replica.
+    /// `1` (the paper's single warm backup) disables the placement layer
+    /// entirely; every paper reproduction run uses `1`.
+    pub backups: u32,
+    /// EXTENSION (placement): quorum `k` — the epoch acks once any `k`
+    /// fragment sets are durable, failover reconstructs the committed image
+    /// from any `k` survivors, and per-replica storage is `ceil(4 KiB / k)`
+    /// per page (total overhead `n/k`× instead of mirroring's `n`×).
+    /// Must satisfy `1 ≤ k ≤ n`. Ignored when `backups == 1`.
+    pub quorum: u32,
 }
 
 impl OptimizationConfig {
@@ -84,6 +95,8 @@ impl OptimizationConfig {
             dump_workers: 1,
             cow_checkpoint: false,
             rearm: false,
+            backups: 1,
+            quorum: 1,
         }
     }
 
@@ -102,6 +115,8 @@ impl OptimizationConfig {
             dump_workers: 1,
             cow_checkpoint: false,
             rearm: false,
+            backups: 1,
+            quorum: 1,
         }
     }
 
@@ -259,6 +274,8 @@ mod tests {
             assert_eq!(cfg.dump_workers, 1);
             assert!(!cfg.cow_checkpoint);
             assert!(!cfg.rearm);
+            assert_eq!(cfg.backups, 1, "paper rows: single warm backup");
+            assert_eq!(cfg.quorum, 1);
             assert!(!cfg.dump_config().cow);
         }
         // The COW knob flows through to the CRIU dump config.

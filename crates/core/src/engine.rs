@@ -82,6 +82,27 @@ fn no_rearm<T>() -> SimResult<T> {
     ))
 }
 
+/// What starting a coded repair produced ([`Checkpointer::repair_begin`]).
+///
+/// Unlike [`BootstrapBegin`] there is no `stop_time`: repair reads the
+/// *committed* fragment stores of the surviving replicas, so the primary
+/// container is never stopped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RepairBegin {
+    /// Committed pages whose missing fragment must be regenerated onto the
+    /// replacement replica.
+    pub total_pages: u64,
+    /// Metadata bytes of the committed image (shipped with the base
+    /// assembly, not per-page).
+    pub state_bytes: u64,
+}
+
+fn no_placement<T>() -> SimResult<T> {
+    Err(SimError::Invalid(
+        "engine does not support k-of-n placement".into(),
+    ))
+}
+
 /// A replication engine driven by the harness once per epoch.
 pub trait Checkpointer {
     /// Engine name for reports.
@@ -172,6 +193,53 @@ pub trait Checkpointer {
     /// container can continue unreplicated (the harness retries later).
     fn bootstrap_abort(&mut self, _primary: &mut Kernel, _container: &Container) -> SimResult<()> {
         no_rearm()
+    }
+
+    /// Whether this engine stripes committed state across k-of-n replicas
+    /// (the `placement` extension). When `false`, the remaining methods in
+    /// this block error by default and the harness never calls them.
+    fn supports_placement(&self) -> bool {
+        false
+    }
+
+    /// The placement parameters `(quorum k, backups n)`. Engines without
+    /// placement report the paper's implicit `(1, 1)` single warm backup.
+    fn placement(&self) -> (u32, u32) {
+        (1, 1)
+    }
+
+    /// The designated replica (the one backed by the harness's real backup
+    /// kernel) was lost. Marks it dead and returns the number of replicas
+    /// still alive; the caller decides whether the quorum still holds.
+    fn replica_fault(&mut self) -> SimResult<u32> {
+        no_placement()
+    }
+
+    /// Start a coded repair: regenerate the lost replica's fragment store
+    /// from k surviving peers onto a fresh agent. The primary keeps serving
+    /// — repair never stops the container.
+    fn repair_begin(&mut self, _epoch: u64) -> SimResult<RepairBegin> {
+        no_placement()
+    }
+
+    /// Regenerate at most `max_pages` missing fragments from k surviving
+    /// peers (decode + re-encode). Called once per epoch while the repair is
+    /// active; reuses [`BootstrapStep`] for accounting.
+    fn repair_step(&mut self, _epoch: u64, _max_pages: u64) -> SimResult<BootstrapStep> {
+        no_placement()
+    }
+
+    /// All fragments regenerated: seal and commit the repaired replica
+    /// (including pages re-dirtied during the repair and a full disk resync
+    /// onto `backup`). Returns backup CPU consumed by the commit.
+    fn repair_finish(&mut self, _backup: &mut Kernel, _epoch: u64) -> SimResult<Nanos> {
+        no_placement()
+    }
+
+    /// The replacement replica died mid-repair: discard the half-regenerated
+    /// fragment store (the harness retries later with backoff).
+    fn repair_abort(&mut self) -> SimResult<()> {
+        no_placement()
     }
 }
 

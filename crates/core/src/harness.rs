@@ -104,6 +104,28 @@ enum RearmState {
     Armed,
 }
 
+/// Where a coded repair stands (always `Idle` unless the active engine
+/// supports the `placement` extension — see
+/// [`Checkpointer::supports_placement`]). Unlike [`RearmState`], the engine
+/// keeps driving epochs throughout: the placement is merely *degraded*
+/// (`alive ≥ k` replicas still ack every epoch) while the lost replica's
+/// fragment store regenerates on a replacement host.
+#[derive(Debug, Clone, Copy)]
+enum RepairState {
+    /// Full redundancy (or no placement at all).
+    Idle,
+    /// A replica was lost with the quorum intact; a coded repair starts at
+    /// `at`.
+    Scheduled { at: Nanos, attempt: u32 },
+    /// The replacement is regenerating the missing fragments from k peers
+    /// in bounded per-epoch chunks while the primary keeps serving.
+    Repairing {
+        attempt: u32,
+        streamed_pages: u64,
+        streamed_bytes: u64,
+    },
+}
+
 /// Live counters of the chaos extension, for scenario classification by the
 /// `chaos` bench bin (all zero when no chaos schedule is armed).
 #[derive(Debug, Clone, Copy, Default, serde::Serialize)]
@@ -205,6 +227,7 @@ pub struct RunHarness {
     /// The service is gone (unprotected fault): no further epochs run.
     dead: bool,
     rearm: RearmState,
+    repair: RepairState,
     /// The engine while it is not driving epochs (between a failover and
     /// the completion of the re-replication bootstrap).
     parked: Option<Box<dyn Checkpointer>>,
@@ -334,6 +357,7 @@ impl RunHarness {
             unrecovered_faults: 0,
             dead: false,
             rearm: RearmState::Idle,
+            repair: RepairState::Idle,
             parked: None,
             held: Vec::new(),
             epoch: 0,
@@ -494,6 +518,12 @@ impl RunHarness {
     /// the most recent failover (or backup loss).
     pub fn rearmed(&self) -> bool {
         matches!(self.rearm, RearmState::Armed)
+    }
+
+    /// Whether a coded repair is scheduled or streaming (the placement
+    /// extension's degraded window).
+    pub fn repair_active(&self) -> bool {
+        !matches!(self.repair, RepairState::Idle)
     }
 
     // ------------------------------------------------------------------
@@ -790,6 +820,7 @@ impl RunHarness {
                 continue;
             }
             self.rearm_tick()?;
+            self.repair_tick()?;
             self.run_one_epoch()?;
         }
         self.metrics.elapsed = self.cluster.clock.now();
@@ -1107,6 +1138,10 @@ impl RunHarness {
                     steps_done,
                 });
             }
+            // A coded repair streams its bounded chunk after the epoch's
+            // checkpoint acked (the stream rides the inter-replica links,
+            // never the primary's stop phase).
+            self.repair_step_epoch()?;
         }
 
         // The epoch (including its stop phase) completed healthy: the agent
@@ -1281,6 +1316,9 @@ impl RunHarness {
         self.container = restored.container;
         self.failover_report = Some(report);
         self.failovers += 1;
+        // A repair in flight at failover time is moot: the rearm bootstrap
+        // (if any) rebuilds the whole placement from the promoted primary.
+        self.repair = RepairState::Idle;
         // The promoted host's cgroup accounting starts from zero: without a
         // fresh sender, `tick` would never see progress and the re-armed
         // detector would starve.
@@ -1331,15 +1369,81 @@ impl RunHarness {
         Ok(())
     }
 
-    /// A backup-host fault fired: abort an in-flight bootstrap (and retry
-    /// with exponential backoff), or degrade a healthy replicated pair to
-    /// unreplicated service.
+    /// A backup-host fault fired: with a k-of-n placement and the quorum
+    /// intact, degrade and start a coded repair; abort an in-flight
+    /// bootstrap or repair (and retry with exponential backoff); otherwise
+    /// degrade a healthy replicated pair to unreplicated service.
     fn handle_backup_fault(&mut self, t: Nanos) -> SimResult<()> {
         self.cluster.clock.advance_to(t);
         // A deferred release whose ack already committed is legitimate: the
         // backup acknowledged the covering epoch before it died, so flush it
         // (lease validity holds by construction — the ack renewed it).
         self.chaos_flush_pending(t)?;
+        let has_placement = match &self.mode {
+            RunMode::Replicated(engine) => engine.supports_placement(),
+            RunMode::Unreplicated => false,
+        };
+        if has_placement {
+            let RunMode::Replicated(engine) = &mut self.mode else {
+                unreachable!()
+            };
+            let (k, _n) = engine.placement();
+            self.cluster.partition(self.backup);
+            if let RepairState::Repairing { attempt, .. } = self.repair {
+                // The replacement host died mid-repair: discard its
+                // half-regenerated fragment store, provision another fresh
+                // host, and retry with exponential backoff. Epochs keep
+                // committing on the surviving quorum throughout.
+                engine.repair_abort()?;
+                self.backup = self.cluster.add_host(Kernel::default());
+                let backoff = self
+                    .cfg
+                    .rearm_backoff
+                    .saturating_mul(1u64 << attempt.min(16));
+                self.repair = RepairState::Scheduled {
+                    at: t + backoff,
+                    attempt: attempt + 1,
+                };
+                return Ok(());
+            }
+            let attempt = match self.repair {
+                RepairState::Scheduled { attempt, .. } => attempt + 1,
+                _ => 0,
+            };
+            let alive = engine.replica_fault()?;
+            if alive >= k {
+                // Quorum holds: the epoch pipeline never pauses and output
+                // stays plugged/released on the normal ack path. Provision
+                // the replacement immediately; the repair starts after the
+                // same settling delay a rearm bootstrap uses.
+                self.backup = self.cluster.add_host(Kernel::default());
+                self.tracer
+                    .event_at(TraceEvent::DegradedMode { alive, need: k }, t);
+                self.repair = RepairState::Scheduled {
+                    at: t + self.cfg.rearm_delay,
+                    attempt,
+                };
+                return Ok(());
+            }
+            // Below quorum: no further epoch can ack. Fall through to the
+            // single-backup degrade path (release everything and, with the
+            // rearm extension, bootstrap a whole new placement).
+            self.repair = RepairState::Idle;
+            let RunMode::Replicated(engine) =
+                std::mem::replace(&mut self.mode, RunMode::Unreplicated)
+            else {
+                unreachable!()
+            };
+            self.release_plugged_output(t)?;
+            if engine.supports_rearm() {
+                self.parked = Some(engine);
+                self.rearm = RearmState::Scheduled {
+                    at: t + self.cfg.rearm_delay,
+                    attempt: 0,
+                };
+            }
+            return Ok(());
+        }
         if let RearmState::Bootstrapping { attempt, .. } = self.rearm {
             // The replacement died mid-bootstrap: unwind the COW set, drop
             // the half-assembled image, keep serving, retry later.
@@ -1414,6 +1518,87 @@ impl RunHarness {
             if at <= self.cluster.clock.now() {
                 self.begin_bootstrap(attempt)?;
             }
+        }
+        Ok(())
+    }
+
+    /// Start a scheduled coded repair once its time arrives (the placement
+    /// analog of [`Self::rearm_tick`]).
+    fn repair_tick(&mut self) -> SimResult<()> {
+        if let RepairState::Scheduled { at, attempt } = self.repair {
+            if at <= self.cluster.clock.now() {
+                let now = self.cluster.clock.now();
+                let RunMode::Replicated(engine) = &mut self.mode else {
+                    // The placement degraded below quorum (or failed over)
+                    // after the repair was scheduled.
+                    self.repair = RepairState::Idle;
+                    return Ok(());
+                };
+                self.tracer.event_at(
+                    TraceEvent::RepairStart {
+                        kind: "repair".into(),
+                        attempt,
+                    },
+                    now,
+                );
+                engine.repair_begin(self.epoch)?;
+                self.repair = RepairState::Repairing {
+                    attempt,
+                    streamed_pages: 0,
+                    streamed_bytes: 0,
+                };
+            }
+        }
+        Ok(())
+    }
+
+    /// One bounded chunk of the coded-repair stream (runs at the end of each
+    /// replicated epoch while a repair is active). When the last fragment
+    /// regenerates, the repaired replica seals (mid-repair commits included,
+    /// disk resynced) and rejoins the placement at full redundancy.
+    fn repair_step_epoch(&mut self) -> SimResult<()> {
+        let RepairState::Repairing {
+            attempt,
+            streamed_pages,
+            streamed_bytes,
+        } = self.repair
+        else {
+            return Ok(());
+        };
+        let step = {
+            let RunMode::Replicated(engine) = &mut self.mode else {
+                return Ok(());
+            };
+            engine.repair_step(self.epoch, self.cfg.rearm_chunk_pages)?
+        };
+        let now = self.cluster.clock.now();
+        if step.pages > 0 {
+            self.tracer.event_at(
+                TraceEvent::RepairChunk {
+                    pages: step.pages,
+                    bytes: step.bytes,
+                },
+                now,
+            );
+        }
+        let pages = streamed_pages + step.pages;
+        let bytes = streamed_bytes + step.bytes;
+        if step.remaining == 0 {
+            {
+                let RunMode::Replicated(engine) = &mut self.mode else {
+                    unreachable!()
+                };
+                engine.repair_finish(self.cluster.host_mut(self.backup), self.epoch)?;
+            }
+            self.repair = RepairState::Idle;
+            self.tracer
+                .event_at(TraceEvent::RepairComplete { pages, bytes }, now);
+        } else {
+            self.repair = RepairState::Repairing {
+                attempt,
+                streamed_pages: pages,
+                streamed_bytes: bytes,
+            };
         }
         Ok(())
     }

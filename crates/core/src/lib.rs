@@ -33,6 +33,8 @@
 //!   baseline, plus checkpoint/failover outcome types,
 //! * [`backup`] — the backup agent: buffered state, page store, DRBD buffer,
 //! * [`nilicon_engine`] — the primary-side NiLiCon engine,
+//! * [`placement`] — the k-of-n erasure-coded multi-backup engine with
+//!   unified repair/rearm/migration streaming,
 //! * [`traffic`] — client pool and the [`traffic::ClientBehavior`] seam that
 //!   workloads implement,
 //! * [`harness`] — the epoch-loop run harness (unreplicated / NiLiCon / MC)
@@ -90,6 +92,7 @@ pub mod engine;
 pub mod harness;
 pub mod metrics;
 pub mod nilicon_engine;
+pub mod placement;
 pub mod trace;
 pub mod traffic;
 
@@ -100,5 +103,6 @@ pub use engine::{BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer,
 pub use harness::{ChaosStats, RunHarness, RunMode, RunResult};
 pub use metrics::{percentile, EpochRecord, RunMetrics};
 pub use nilicon_engine::NiLiConEngine;
+pub use placement::PlacementEngine;
 pub use trace::{TraceEvent, TraceRecord, TraceSink, Tracer};
 pub use traffic::{ClientBehavior, ClientPool};

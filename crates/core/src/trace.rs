@@ -280,6 +280,57 @@ pub enum TraceEvent {
         /// Added round-trip delay (ns).
         extra: Nanos,
     },
+    /// Erasure-coding of the epoch's dirty pages into n shard fragments
+    /// (placement extension; emitted only when `backups > 1`). An ack-phase
+    /// *span*: encoding happens after the container resumes, before the
+    /// fragments fan out to the replicas.
+    ShardCommit {
+        /// Fragments produced per page (= configured `backups` n).
+        shards: u32,
+        /// Dirty pages encoded this epoch.
+        pages: u64,
+        /// Bytes of one fragment set shipped per replica
+        /// (`pages × ceil(4 KiB / k)` + metadata).
+        frag_bytes: u64,
+    },
+    /// A stream-while-serving placement flow started (placement extension;
+    /// marker). `kind` is `"repair"` (coded repair of a lost replica) or
+    /// `"migration"` (planned move); `attempt > 0` after a
+    /// fault-during-repair retry. Rearm keeps its own `RearmStart`.
+    RepairStart {
+        /// Which placement flow: `"repair"` or `"migration"`.
+        kind: String,
+        /// Zero-based attempt number.
+        attempt: u32,
+    },
+    /// One bounded background chunk of a repair/migration stream: fragments
+    /// regenerated from k surviving peers (decode + re-encode) or pages
+    /// streamed to the destination (placement extension; marker — the
+    /// stream overlaps execution and is not an epoch phase).
+    RepairChunk {
+        /// Pages whose fragment/body was regenerated or streamed this chunk.
+        pages: u64,
+        /// Wire bytes the chunk put on the links (repair reads k fragments
+        /// per regenerated page — the RS repair read amplification).
+        bytes: u64,
+    },
+    /// The repair/migration stream finished and the replica committed: the
+    /// placement is back at full redundancy (placement extension; marker).
+    RepairComplete {
+        /// Total pages regenerated/streamed.
+        pages: u64,
+        /// Total wire bytes of the stream.
+        bytes: u64,
+    },
+    /// A replica was lost but the quorum still holds: epochs keep acking
+    /// with `alive ≥ k` fragment sets durable while repair is pending
+    /// (placement extension; marker at the fault's epoch boundary).
+    DegradedMode {
+        /// Replicas still alive.
+        alive: u32,
+        /// Quorum k required to ack (and to repair).
+        need: u32,
+    },
 }
 
 impl TraceEvent {
@@ -315,6 +366,11 @@ impl TraceEvent {
             TraceEvent::FencedOutput { .. } => "FencedOutput",
             TraceEvent::FalseSuspicion { .. } => "FalseSuspicion",
             TraceEvent::ChaosDelay { .. } => "ChaosDelay",
+            TraceEvent::ShardCommit { .. } => "ShardCommit",
+            TraceEvent::RepairStart { .. } => "RepairStart",
+            TraceEvent::RepairChunk { .. } => "RepairChunk",
+            TraceEvent::RepairComplete { .. } => "RepairComplete",
+            TraceEvent::DegradedMode { .. } => "DegradedMode",
         }
     }
 
@@ -334,6 +390,7 @@ impl TraceEvent {
         matches!(
             self,
             TraceEvent::CowCopy { .. }
+                | TraceEvent::ShardCommit { .. }
                 | TraceEvent::Transfer { .. }
                 | TraceEvent::BackupIngest { .. }
                 | TraceEvent::Ack
@@ -484,6 +541,40 @@ impl serde::ser::Serialize for TraceEvent {
             TraceEvent::ChaosDelay { extra } => {
                 tagged("ChaosDelay", vec![("extra".into(), u(*extra))])
             }
+            TraceEvent::ShardCommit {
+                shards,
+                pages,
+                frag_bytes,
+            } => tagged(
+                "ShardCommit",
+                vec![
+                    ("shards".into(), u(*shards as u64)),
+                    ("pages".into(), u(*pages)),
+                    ("frag_bytes".into(), u(*frag_bytes)),
+                ],
+            ),
+            TraceEvent::RepairStart { kind, attempt } => tagged(
+                "RepairStart",
+                vec![
+                    ("kind".into(), Value::Str(kind.clone())),
+                    ("attempt".into(), u(*attempt as u64)),
+                ],
+            ),
+            TraceEvent::RepairChunk { pages, bytes } => tagged(
+                "RepairChunk",
+                vec![("pages".into(), u(*pages)), ("bytes".into(), u(*bytes))],
+            ),
+            TraceEvent::RepairComplete { pages, bytes } => tagged(
+                "RepairComplete",
+                vec![("pages".into(), u(*pages)), ("bytes".into(), u(*bytes))],
+            ),
+            TraceEvent::DegradedMode { alive, need } => tagged(
+                "DegradedMode",
+                vec![
+                    ("alive".into(), u(*alive as u64)),
+                    ("need".into(), u(*need as u64)),
+                ],
+            ),
         }
     }
 }
@@ -601,6 +692,27 @@ impl serde::de::Deserialize for TraceEvent {
             }),
             "ChaosDelay" => Ok(TraceEvent::ChaosDelay {
                 extra: f(fields, "extra")?,
+            }),
+            "ShardCommit" => Ok(TraceEvent::ShardCommit {
+                shards: serde::de::field(fields, "shards")?,
+                pages: f(fields, "pages")?,
+                frag_bytes: f(fields, "frag_bytes")?,
+            }),
+            "RepairStart" => Ok(TraceEvent::RepairStart {
+                kind: serde::de::field(fields, "kind")?,
+                attempt: serde::de::field(fields, "attempt")?,
+            }),
+            "RepairChunk" => Ok(TraceEvent::RepairChunk {
+                pages: f(fields, "pages")?,
+                bytes: f(fields, "bytes")?,
+            }),
+            "RepairComplete" => Ok(TraceEvent::RepairComplete {
+                pages: f(fields, "pages")?,
+                bytes: f(fields, "bytes")?,
+            }),
+            "DegradedMode" => Ok(TraceEvent::DegradedMode {
+                alive: serde::de::field(fields, "alive")?,
+                need: serde::de::field(fields, "need")?,
             }),
             other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
         }
@@ -1094,6 +1206,24 @@ mod tests {
                 suspected_for: 20_000_000,
             },
             TraceEvent::ChaosDelay { extra: 160_000_000 },
+            TraceEvent::ShardCommit {
+                shards: 3,
+                pages: 120,
+                frag_bytes: 245_760,
+            },
+            TraceEvent::RepairStart {
+                kind: "repair".into(),
+                attempt: 1,
+            },
+            TraceEvent::RepairChunk {
+                pages: 256,
+                bytes: 2_097_152,
+            },
+            TraceEvent::RepairComplete {
+                pages: 4096,
+                bytes: 33_554_432,
+            },
+            TraceEvent::DegradedMode { alive: 2, need: 2 },
         ];
         for kind in variants {
             let rec = TraceRecord {

@@ -195,17 +195,28 @@ impl ShadowStore {
             }
         };
         stats.encoded_bytes += enc.encoded_bytes();
-        self.pages.insert(key, data_or_zero(&enc, data));
+        // Update the shadow in place: a page seen before reuses its existing
+        // 4 KiB box instead of allocating a fresh one per call. Zero pages
+        // shadow as explicit zeros so later deltas against them are correct.
+        let zero = matches!(enc, PageEncoding::Zero);
+        match self.pages.entry(key) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let buf = e.get_mut();
+                if zero {
+                    buf.fill(0);
+                } else {
+                    buf.copy_from_slice(data);
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(if zero {
+                    Box::new([0u8; PAGE_SIZE])
+                } else {
+                    Box::new(*data)
+                });
+            }
+        }
         enc
-    }
-}
-
-/// Shadow copy to retain: zero pages store as explicit zeros so later deltas
-/// against them are correct.
-fn data_or_zero(enc: &PageEncoding, data: &[u8; PAGE_SIZE]) -> Box<[u8; PAGE_SIZE]> {
-    match enc {
-        PageEncoding::Zero => Box::new([0u8; PAGE_SIZE]),
-        _ => Box::new(*data),
     }
 }
 

@@ -50,6 +50,7 @@ pub mod image;
 pub mod imgfile;
 pub mod pagestore;
 pub mod restore;
+pub mod shard;
 
 pub use cache::InfrequentCache;
 pub use delta::{DeltaStats, PageEncoding, ShadowStore};
@@ -58,3 +59,4 @@ pub use image::{CheckpointImage, DumpPhases, DumpStats, ProcessImage};
 pub use imgfile::{decode as decode_image, encode as encode_image};
 pub use pagestore::{LinkedListStore, PageKey, PageStore, RadixTreeStore};
 pub use restore::{restore_container, RestoreConfig, RestoredContainer};
+pub use shard::ShardCodec;

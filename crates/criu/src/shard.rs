@@ -1,0 +1,474 @@
+//! Systematic Reed–Solomon page sharding for k-of-n multi-backup
+//! replication (the `placement` extension).
+//!
+//! Each 4 KiB page is striped into `k` data fragments of
+//! `ceil(PAGE_SIZE / k)` bytes plus `n - k` parity fragments computed over
+//! GF(2⁸), so replica `i` stores exactly fragment `i` of every page:
+//!
+//! * any `k` of the `n` fragments reconstruct the page byte-identically
+//!   (the generator matrix is a Vandermonde matrix brought to systematic
+//!   form, so every `k × k` row submatrix is invertible),
+//! * per-replica storage is `ceil(PAGE_SIZE / k)` bytes per page — total
+//!   memory overhead `n/k`× instead of mirroring's `n`×,
+//! * `k = 1` degenerates to whole-page mirroring (`n = 2` is exactly the
+//!   paper's primary + warm backup pair),
+//! * because striping is *within* a page, each replica's incremental
+//!   per-epoch merge stays sound: committing fragment `i` of a re-dirtied
+//!   page supersedes the old fragment `i`, and parity fragments are always
+//!   current (they are recomputed from the page contents at encode time,
+//!   never patched incrementally).
+//!
+//! All scratch buffers are pooled in the codec (allocated once at
+//! construction): the per-page encode/decode hot path performs no heap
+//! allocation, so it cannot inherit the allocation-churn p99 outliers the
+//! delta-encode path used to show (see `ShadowStore::encode`).
+
+use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+
+/// GF(2⁸) log/antilog tables over the 0x11D primitive polynomial
+/// (generator 2), built once per process.
+fn gf_tables() -> &'static ([u8; 256], [u8; 512]) {
+    use std::sync::OnceLock;
+    static TABLES: OnceLock<([u8; 256], [u8; 512])> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut log = [0u8; 256];
+        let mut exp = [0u8; 512];
+        let mut x: u16 = 1;
+        for (i, e) in exp.iter_mut().enumerate().take(255) {
+            *e = x as u8;
+            log[x as usize] = i as u8;
+            x <<= 1;
+            if x & 0x100 != 0 {
+                x ^= 0x11D;
+            }
+        }
+        // Double-length antilog table: exp[a + b] is valid for any two log
+        // values without a modular reduction on the hot path.
+        for i in 255..512 {
+            exp[i] = exp[i - 255];
+        }
+        (log, exp)
+    })
+}
+
+#[inline]
+fn gf_mul(a: u8, b: u8) -> u8 {
+    if a == 0 || b == 0 {
+        return 0;
+    }
+    let (log, exp) = gf_tables();
+    exp[log[a as usize] as usize + log[b as usize] as usize]
+}
+
+#[inline]
+fn gf_inv(a: u8) -> u8 {
+    debug_assert_ne!(a, 0, "zero has no inverse");
+    let (log, exp) = gf_tables();
+    exp[255 - log[a as usize] as usize]
+}
+
+/// `base^pow` in GF(2⁸).
+fn gf_pow(base: u8, pow: u32) -> u8 {
+    let mut r = 1u8;
+    for _ in 0..pow {
+        r = gf_mul(r, base);
+    }
+    r
+}
+
+/// Invert a `k × k` matrix over GF(2⁸) by Gauss–Jordan elimination.
+/// Errors if the matrix is singular (cannot happen for the row subsets of a
+/// systematic Vandermonde generator, but decode inputs are validated anyway).
+fn gf_invert(m: &[Vec<u8>]) -> SimResult<Vec<Vec<u8>>> {
+    let k = m.len();
+    let mut a: Vec<Vec<u8>> = m.to_vec();
+    let mut inv: Vec<Vec<u8>> = (0..k)
+        .map(|i| (0..k).map(|j| u8::from(i == j)).collect())
+        .collect();
+    for col in 0..k {
+        // Pivot: any row at/below `col` with a nonzero entry.
+        let pivot = (col..k)
+            .find(|&r| a[r][col] != 0)
+            .ok_or_else(|| SimError::Invalid("singular shard matrix".into()))?;
+        a.swap(col, pivot);
+        inv.swap(col, pivot);
+        let p = gf_inv(a[col][col]);
+        for j in 0..k {
+            a[col][j] = gf_mul(a[col][j], p);
+            inv[col][j] = gf_mul(inv[col][j], p);
+        }
+        for row in 0..k {
+            if row == col || a[row][col] == 0 {
+                continue;
+            }
+            let f = a[row][col];
+            for j in 0..k {
+                let ac = gf_mul(f, a[col][j]);
+                a[row][j] ^= ac;
+                let ic = gf_mul(f, inv[col][j]);
+                inv[row][j] ^= ic;
+            }
+        }
+    }
+    Ok(inv)
+}
+
+/// A systematic Reed–Solomon page codec for one `(k, n)` placement, with
+/// pooled per-page scratch buffers (no allocation on the encode/decode hot
+/// path).
+pub struct ShardCodec {
+    k: usize,
+    n: usize,
+    frag_len: usize,
+    /// The systematic `n × k` generator matrix: rows `0..k` are the
+    /// identity, rows `k..n` are the parity coefficients. Every `k × k`
+    /// row submatrix is invertible.
+    gen: Vec<Vec<u8>>,
+    /// Pooled encode output: `n` fragment buffers of `frag_len` bytes.
+    enc: Vec<Vec<u8>>,
+    /// Pooled decode workspace: `k` data-fragment buffers.
+    dec: Vec<Vec<u8>>,
+}
+
+impl std::fmt::Debug for ShardCodec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardCodec")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .field("frag_len", &self.frag_len)
+            .finish()
+    }
+}
+
+impl ShardCodec {
+    /// Build the codec for quorum `k` of `n` replicas.
+    /// Requires `1 ≤ k ≤ n ≤ 128`.
+    pub fn new(k: u32, n: u32) -> SimResult<Self> {
+        if k == 0 || k > n || n > 128 {
+            return Err(SimError::Invalid(format!(
+                "invalid placement (k={k}, n={n}): need 1 <= k <= n <= 128"
+            )));
+        }
+        let (k, n) = (k as usize, n as usize);
+        let frag_len = PAGE_SIZE.div_ceil(k);
+        // Vandermonde rows over distinct nonzero points x_i = 2^i, brought
+        // to systematic form: G = V · (V_top)⁻¹. Row-subset invertibility
+        // is inherited from the Vandermonde property.
+        let vand: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                let x = gf_pow(2, i as u32);
+                (0..k).map(|j| gf_pow(x, j as u32)).collect()
+            })
+            .collect();
+        let top_inv = gf_invert(&vand[..k])?;
+        let gen: Vec<Vec<u8>> = (0..n)
+            .map(|i| {
+                (0..k)
+                    .map(|j| {
+                        let mut acc = 0u8;
+                        for (c, row) in top_inv.iter().enumerate() {
+                            acc ^= gf_mul(vand[i][c], row[j]);
+                        }
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        debug_assert!((0..k).all(|i| (0..k).all(|j| gen[i][j] == u8::from(i == j))));
+        Ok(ShardCodec {
+            k,
+            n,
+            frag_len,
+            gen,
+            enc: vec![vec![0u8; frag_len]; n],
+            dec: vec![vec![0u8; frag_len]; k],
+        })
+    }
+
+    /// Quorum size (fragments needed to reconstruct a page).
+    pub fn k(&self) -> u32 {
+        self.k as u32
+    }
+
+    /// Replica count (fragments produced per page).
+    pub fn n(&self) -> u32 {
+        self.n as u32
+    }
+
+    /// Bytes stored per replica per page: `ceil(PAGE_SIZE / k)`.
+    pub fn frag_len(&self) -> usize {
+        self.frag_len
+    }
+
+    /// Storage overhead factor relative to the unreplicated page:
+    /// `n · frag_len / PAGE_SIZE` (≈ `n/k`; exactly `n` when `k = 1`).
+    pub fn overhead(&self) -> f64 {
+        (self.n * self.frag_len) as f64 / PAGE_SIZE as f64
+    }
+
+    /// Encode one page into `n` fragments (returned slice lives in the
+    /// codec's pooled scratch — consume it before the next encode).
+    /// Fragment `i < k` is the raw byte stripe `i` (systematic); fragments
+    /// `k..n` are parity.
+    pub fn encode(&mut self, page: &[u8; PAGE_SIZE]) -> &[Vec<u8>] {
+        // Data stripes: stripe j covers page[j*frag_len ..], zero-padded.
+        for j in 0..self.k {
+            let start = j * self.frag_len;
+            let end = (start + self.frag_len).min(PAGE_SIZE);
+            let frag = &mut self.enc[j];
+            frag[..end - start].copy_from_slice(&page[start..end]);
+            frag[end - start..].fill(0);
+        }
+        // Parity rows.
+        for i in self.k..self.n {
+            let (data, parity) = self.enc.split_at_mut(self.k);
+            let out = &mut parity[i - self.k];
+            out.fill(0);
+            for (j, stripe) in data.iter().enumerate() {
+                let c = self.gen[i][j];
+                if c == 0 {
+                    continue;
+                }
+                let (log, exp) = gf_tables();
+                let lc = log[c as usize] as usize;
+                for (o, &s) in out.iter_mut().zip(stripe.iter()) {
+                    if s != 0 {
+                        *o ^= exp[lc + log[s as usize] as usize];
+                    }
+                }
+            }
+        }
+        &self.enc
+    }
+
+    /// Reconstruct a page from any `k` distinct `(replica index, fragment)`
+    /// pairs. Fragment lengths must equal [`ShardCodec::frag_len`].
+    pub fn decode(
+        &mut self,
+        frags: &[(usize, &[u8])],
+        out: &mut [u8; PAGE_SIZE],
+    ) -> SimResult<()> {
+        if frags.len() != self.k {
+            return Err(SimError::Invalid(format!(
+                "decode needs exactly k={} fragments, got {}",
+                self.k,
+                frags.len()
+            )));
+        }
+        for &(idx, frag) in frags {
+            if idx >= self.n {
+                return Err(SimError::Invalid(format!(
+                    "fragment index {idx} out of range (n={})",
+                    self.n
+                )));
+            }
+            if frag.len() != self.frag_len {
+                return Err(SimError::Invalid(format!(
+                    "fragment length {} != frag_len {}",
+                    frag.len(),
+                    self.frag_len
+                )));
+            }
+        }
+        let mut seen = [false; 128];
+        for &(idx, _) in frags {
+            if seen[idx] {
+                return Err(SimError::Invalid(format!("duplicate fragment index {idx}")));
+            }
+            seen[idx] = true;
+        }
+
+        if frags.iter().all(|&(idx, _)| idx < self.k) {
+            // All-systematic fast path: the stripes are the data.
+            for &(idx, frag) in frags {
+                self.dec[idx][..].copy_from_slice(frag);
+            }
+        } else {
+            let rows: Vec<Vec<u8>> = frags.iter().map(|&(idx, _)| self.gen[idx].clone()).collect();
+            let inv = gf_invert(&rows)?;
+            let (log, exp) = gf_tables();
+            for (inv_row, dec_row) in inv.iter().zip(self.dec.iter_mut()) {
+                dec_row.fill(0);
+                for (i, &(_, frag)) in frags.iter().enumerate() {
+                    let c = inv_row[i];
+                    if c == 0 {
+                        continue;
+                    }
+                    let lc = log[c as usize] as usize;
+                    for (o, &s) in dec_row.iter_mut().zip(frag.iter()) {
+                        if s != 0 {
+                            *o ^= exp[lc + log[s as usize] as usize];
+                        }
+                    }
+                }
+            }
+        }
+        for j in 0..self.k {
+            let start = j * self.frag_len;
+            let end = (start + self.frag_len).min(PAGE_SIZE);
+            out[start..end].copy_from_slice(&self.dec[j][..end - start]);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn page(seed: u8) -> Box<[u8; PAGE_SIZE]> {
+        let mut p = Box::new([0u8; PAGE_SIZE]);
+        let mut x = seed as u32 | 1;
+        for (i, b) in p.iter_mut().enumerate() {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            *b = (x >> 16) as u8 ^ (i as u8);
+        }
+        p
+    }
+
+    /// Every k-subset of n fragment indices.
+    fn subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut idx: Vec<usize> = (0..k).collect();
+        loop {
+            out.push(idx.clone());
+            // Next combination.
+            let mut i = k;
+            loop {
+                if i == 0 {
+                    return out;
+                }
+                i -= 1;
+                if idx[i] != i + n - k {
+                    break;
+                }
+                if i == 0 {
+                    return out;
+                }
+            }
+            idx[i] += 1;
+            for j in i + 1..k {
+                idx[j] = idx[j - 1] + 1;
+            }
+        }
+    }
+
+    #[test]
+    fn gf_field_sanity() {
+        for a in 1..=255u8 {
+            assert_eq!(gf_mul(a, gf_inv(a)), 1, "a={a}");
+            assert_eq!(gf_mul(a, 1), a);
+            assert_eq!(gf_mul(a, 0), 0);
+        }
+        // Commutativity + distributivity spot checks.
+        assert_eq!(gf_mul(7, 9), gf_mul(9, 7));
+        assert_eq!(gf_mul(3, 5 ^ 6), gf_mul(3, 5) ^ gf_mul(3, 6));
+    }
+
+    #[test]
+    fn frag_len_and_overhead() {
+        let c12 = ShardCodec::new(1, 2).unwrap();
+        assert_eq!(c12.frag_len(), PAGE_SIZE);
+        assert_eq!(c12.overhead(), 2.0, "k=1,n=2 is exactly mirroring");
+        let c23 = ShardCodec::new(2, 3).unwrap();
+        assert_eq!(c23.frag_len(), PAGE_SIZE / 2);
+        assert_eq!(c23.overhead(), 1.5);
+        let c35 = ShardCodec::new(3, 5).unwrap();
+        assert_eq!(c35.frag_len(), PAGE_SIZE.div_ceil(3));
+        assert!(c35.overhead() < 2.0, "coded (3,5) beats mirroring");
+    }
+
+    #[test]
+    fn rejects_invalid_placements() {
+        assert!(ShardCodec::new(0, 2).is_err());
+        assert!(ShardCodec::new(3, 2).is_err());
+        assert!(ShardCodec::new(4, 200).is_err());
+        assert!(ShardCodec::new(1, 1).is_ok(), "degenerate single replica");
+    }
+
+    #[test]
+    fn any_k_subset_reconstructs_byte_identically() {
+        for (k, n) in [(1u32, 2u32), (2, 3), (3, 5), (1, 1), (4, 6)] {
+            let mut c = ShardCodec::new(k, n).unwrap();
+            for seed in [0u8, 1, 77, 255] {
+                let p = page(seed);
+                let frags: Vec<Vec<u8>> = c.encode(&p).to_vec();
+                assert_eq!(frags.len(), n as usize);
+                for subset in subsets(n as usize, k as usize) {
+                    let picked: Vec<(usize, &[u8])> =
+                        subset.iter().map(|&i| (i, frags[i].as_slice())).collect();
+                    let mut out = Box::new([0u8; PAGE_SIZE]);
+                    c.decode(&picked, &mut out).unwrap();
+                    assert_eq!(
+                        &*out, &*p,
+                        "(k={k},n={n}) subset {subset:?} seed {seed}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_page_encodes_to_zero_parity() {
+        let mut c = ShardCodec::new(2, 4).unwrap();
+        let frags = c.encode(&[0u8; PAGE_SIZE]);
+        for f in frags {
+            assert!(f.iter().all(|&b| b == 0));
+        }
+    }
+
+    #[test]
+    fn k1_fragments_are_full_page_copies() {
+        let mut c = ShardCodec::new(1, 3).unwrap();
+        let p = page(42);
+        let frags = c.encode(&p);
+        for f in frags {
+            assert_eq!(f.as_slice(), &p[..], "k=1: every replica holds the page");
+        }
+    }
+
+    #[test]
+    fn decode_input_validation() {
+        let mut c = ShardCodec::new(2, 3).unwrap();
+        let p = page(9);
+        let frags: Vec<Vec<u8>> = c.encode(&p).to_vec();
+        let mut out = Box::new([0u8; PAGE_SIZE]);
+        // Too few fragments.
+        assert!(c.decode(&[(0, frags[0].as_slice())], &mut out).is_err());
+        // Duplicate index.
+        assert!(c
+            .decode(&[(1, frags[1].as_slice()), (1, frags[1].as_slice())], &mut out)
+            .is_err());
+        // Out-of-range index.
+        assert!(c
+            .decode(&[(0, frags[0].as_slice()), (3, frags[1].as_slice())], &mut out)
+            .is_err());
+        // Wrong length.
+        assert!(c
+            .decode(&[(0, &frags[0][1..]), (1, frags[1].as_slice())], &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn encode_is_deterministic_across_codecs() {
+        let mut a = ShardCodec::new(3, 5).unwrap();
+        let mut b = ShardCodec::new(3, 5).unwrap();
+        let p = page(13);
+        assert_eq!(a.encode(&p).to_vec(), b.encode(&p).to_vec());
+    }
+
+    #[test]
+    fn repair_reencode_matches_original_fragment() {
+        // Losing replica 1 and regenerating its fragment from k peers must
+        // produce the exact original fragment — the coded-repair invariant.
+        let mut c = ShardCodec::new(2, 3).unwrap();
+        let p = page(200);
+        let frags: Vec<Vec<u8>> = c.encode(&p).to_vec();
+        // Reconstruct the page from replicas {0, 2}, then re-encode.
+        let mut out = Box::new([0u8; PAGE_SIZE]);
+        c.decode(&[(0, frags[0].as_slice()), (2, frags[2].as_slice())], &mut out)
+            .unwrap();
+        let again = c.encode(&out);
+        assert_eq!(again[1], frags[1], "regenerated shard is byte-identical");
+    }
+}

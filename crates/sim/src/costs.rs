@@ -204,6 +204,13 @@ pub struct CostModel {
     /// Backup CPU cost to apply one delta-encoded page against its stored
     /// base at commit time (decode side of `delta_encode_per_page`).
     pub delta_apply_per_page: Nanos,
+    /// Primary CPU cost to erasure-code one dirty page into its n shard
+    /// fragments (GF(2⁸) systematic Reed–Solomon; the `placement`
+    /// extension). Charged on the ack path, after the container resumes.
+    pub shard_encode_per_page: Nanos,
+    /// CPU cost to reconstruct one page from k shard fragments (Gaussian
+    /// decode; charged during failover reconstruction and coded repair).
+    pub shard_decode_per_page: Nanos,
 
     // ------------------------------------------------------------------
     // Restore / recovery
@@ -316,6 +323,8 @@ impl Default for CostModel {
             list_probe_per_ckpt: 4_000, // fs directory probe (images live in files)
             delta_encode_per_page: 650, // one 4 KiB XOR scan ≈ ⅓ of a page copy
             delta_apply_per_page: 500,
+            shard_encode_per_page: 900, // GF(2⁸) table-lookup pass over 4 KiB
+            shard_decode_per_page: 1100, // matrix solve + k-way combine
 
             restore_base: ms(190),
             restore_per_process: ms(9),

@@ -1,15 +1,26 @@
-//! Live migration: CRIU's original use case (§II-B) — checkpoint a container
-//! on one host, restore it on another, and keep running. Exercises the
-//! checkpoint/restore engine directly, without the replication loop.
+//! Live migration: CRIU's original use case (§II-B), recast as the
+//! degenerate `k = 1, n = 1` placement. Migration, coded repair, and rearm
+//! are the same stream-while-serving flow in the Placement engine: take a
+//! COW-deferred full checkpoint (one short stop), stream the page payload
+//! to the destination in bounded chunks while the source keeps computing,
+//! seal the assembly, then drive a deliberate failover onto the
+//! destination. The trace events are the repair events — `RepairStart`
+//! with `kind: "migration"`, one `RepairChunk` per streamed chunk, and a
+//! final `RepairComplete` — so `trace-report` renders a migration exactly
+//! like a repair.
 //!
 //! ```sh
 //! cargo run --release --example live_migration
 //! ```
 
 use nilicon_repro::container::{Application, ContainerRuntime, ContainerSpec, GuestCtx};
-use nilicon_repro::criu::{full_dump, restore_container, DumpConfig, RestoreConfig};
+use nilicon_repro::core::engine::Checkpointer;
+use nilicon_repro::core::{OptimizationConfig, PlacementEngine, TraceEvent, Tracer};
 use nilicon_repro::sim::kernel::Kernel;
 use nilicon_repro::workloads::{Scale, StreamclusterApp};
+
+/// Pages streamed per chunk while the source keeps serving.
+const CHUNK_PAGES: u64 = 64;
 
 fn main() {
     // Source host: a streamcluster container mid-computation.
@@ -32,25 +43,73 @@ fn main() {
     }
     println!("source host: streamcluster ran 10 steps");
 
-    // Checkpoint: freeze → full dump → thaw.
+    // The (1,1) placement: one "replica" — the destination host's agent.
+    let mut opts = OptimizationConfig::nilicon();
+    opts.backups = 1;
+    opts.quorum = 1;
+    let (tracer, ring) = Tracer::in_memory(4096);
+    let mut engine = PlacementEngine::new(opts, source.costs.clone()).unwrap();
+    engine.set_tracer(tracer.clone());
+    engine.prepare(&mut source, &container).unwrap();
     source.meter.take();
-    let image = full_dump(&mut source, &container, &DumpConfig::nilicon()).unwrap();
-    let dump_cost = source.meter.take();
+
+    // COW-deferred full checkpoint: the source stops only for the protect
+    // pass, then resumes while the pages stream.
+    tracer.mark(TraceEvent::RepairStart {
+        kind: "migration".into(),
+        attempt: 0,
+    });
+    let begin = engine.bootstrap_begin(&mut source, &container, 1).unwrap();
     println!(
-        "checkpoint: {} pages, {:.1} MiB of state, {:.1} ms virtual dump time",
-        image.pages.len(),
-        image.state_bytes() as f64 / 1048576.0,
-        dump_cost as f64 / 1e6
+        "migration start: {} pages deferred, {:.1} KiB of metadata, {:.2} ms stop",
+        begin.total_pages,
+        begin.state_bytes as f64 / 1024.0,
+        begin.stop_time as f64 / 1e6
     );
 
-    // Destination host: restore and continue.
+    // Stream-while-serving: the source keeps clustering between chunks.
     let mut dest = Kernel::default();
-    let restored = restore_container(&mut dest, &image, &RestoreConfig::default()).unwrap();
+    let mut streamed_pages = 0u64;
+    let mut streamed_bytes = 0u64;
+    let mut chunks = 0u64;
+    loop {
+        {
+            let mut ctx = GuestCtx::new(&mut source, pid, 100 + chunks);
+            app.step(&mut ctx).unwrap();
+        }
+        let step = engine.bootstrap_step(&mut source, 1, CHUNK_PAGES).unwrap();
+        if step.pages > 0 {
+            tracer.mark(TraceEvent::RepairChunk {
+                pages: step.pages,
+                bytes: step.bytes,
+            });
+        }
+        streamed_pages += step.pages;
+        streamed_bytes += step.bytes;
+        chunks += 1;
+        if step.remaining == 0 {
+            break;
+        }
+        assert!(chunks < 10_000, "stream must drain");
+    }
+    engine.bootstrap_finish(&mut dest, 1).unwrap();
+    tracer.mark(TraceEvent::RepairComplete {
+        pages: streamed_pages,
+        bytes: streamed_bytes,
+    });
+    println!(
+        "streamed {streamed_pages} pages / {:.1} MiB in {chunks} chunks; \
+         source kept computing throughout",
+        streamed_bytes as f64 / 1048576.0
+    );
+
+    // The cut-over is a deliberate failover onto the destination.
+    let (restored, report) = engine.failover(&mut dest).unwrap();
     restored.finish(&mut dest).unwrap();
     println!(
         "destination host: restored {} processes in {:.1} ms virtual time",
         restored.container.workers.len() + 1,
-        restored.restore_time as f64 / 1e6
+        report.restore as f64 / 1e6
     );
 
     // A FRESH app object resumes from the migrated guest state — the
@@ -60,7 +119,7 @@ fn main() {
     let dest_pid = restored.container.init_pid();
     let mut steps_after = 0u64;
     loop {
-        let mut ctx = GuestCtx::new(&mut dest, dest_pid, 100 + steps_after);
+        let mut ctx = GuestCtx::new(&mut dest, dest_pid, 10_000 + steps_after);
         if resumed.step(&mut ctx).unwrap().done {
             break;
         }
@@ -68,5 +127,26 @@ fn main() {
         assert!(steps_after < 10_000, "must converge");
     }
     println!("destination host: computation resumed and completed after {steps_after} more steps");
+
+    let records = ring.snapshot();
+    let starts = records
+        .iter()
+        .filter(|r| matches!(r.kind, TraceEvent::RepairStart { .. }))
+        .count();
+    let chunk_events = records
+        .iter()
+        .filter(|r| matches!(r.kind, TraceEvent::RepairChunk { .. }))
+        .count();
+    let completes = records
+        .iter()
+        .filter(|r| matches!(r.kind, TraceEvent::RepairComplete { .. }))
+        .count();
+    assert_eq!(starts, 1);
+    assert!(chunk_events >= 1);
+    assert_eq!(completes, 1);
+    println!(
+        "trace: RepairStart(kind=migration) ×{starts}, RepairChunk ×{chunk_events}, \
+         RepairComplete ×{completes} — identical event stream to a coded repair."
+    );
     println!("migration preserved every byte of algorithm state — no restart from scratch.");
 }

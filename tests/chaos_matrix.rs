@@ -44,10 +44,7 @@ fn false_suspicion_under_delay_does_not_promote_a_live_primary() {
             430 * MS,
             FaultKind::DelaySpike { extra: 120 * MS },
         ),
-        primary_fault: None,
-        backup_fault: None,
-        rearm: false,
-        expect: Outcome::Recovered,
+        ..Default::default()
     };
     let cell = run_state_cell(&sc, 40);
     assert_eq!(cell.outcome, Outcome::Recovered, "err: {:?}", cell.error);
