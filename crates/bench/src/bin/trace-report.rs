@@ -30,6 +30,7 @@ const PHASES: &[&str] = &[
     "Transfer",
     "BackupIngest",
     "Ack",
+    "LogShip",
 ];
 
 #[derive(Default)]
@@ -73,6 +74,15 @@ struct Section {
     repair_pages: u64,
     repair_bytes: u64,
     repair_completes: u64,
+    log_events: u64,
+    log_bytes: u64,
+    log_commit_latencies: Vec<Nanos>,
+    replay_starts: u64,
+    replay_tail_epochs: u64,
+    replay_events: u64,
+    replay_completes: u64,
+    replay_time: Nanos,
+    replay_diverge_reasons: Vec<String>,
     failovers: Vec<TraceEvent>,
 }
 
@@ -100,6 +110,7 @@ impl Section {
                 | TraceEvent::Transfer { .. }
                 | TraceEvent::BackupIngest { .. }
                 | TraceEvent::Ack
+                | TraceEvent::LogShip { .. }
         ) {
             self.spans.entry(kind.name()).or_default().push(rec.dur);
         }
@@ -164,6 +175,23 @@ impl Section {
                 self.repair_bytes += bytes;
             }
             TraceEvent::RepairComplete { .. } => self.repair_completes += 1,
+            TraceEvent::LogShip { events, bytes } => {
+                self.log_events += events;
+                self.log_bytes += bytes;
+            }
+            TraceEvent::LogCommit { commit_latency, .. } => {
+                self.log_commit_latencies.push(commit_latency);
+            }
+            TraceEvent::ReplayStart { epochs, events } => {
+                self.replay_starts += 1;
+                self.replay_tail_epochs += epochs;
+                self.replay_events += events;
+            }
+            TraceEvent::ReplayComplete { replay_time, .. } => {
+                self.replay_completes += 1;
+                self.replay_time += replay_time;
+            }
+            TraceEvent::ReplayDiverge { reason } => self.replay_diverge_reasons.push(reason),
             ev @ TraceEvent::Failover { .. } => self.failovers.push(ev),
             _ => {}
         }
@@ -197,10 +225,13 @@ impl Section {
         }
 
         // Table-I-style attribution: mean per-epoch cost of each overhead
-        // phase (everything but Exec) as a share of their sum.
+        // phase (everything but Exec) as a share of their sum. LogShip is
+        // excluded — it overlaps execution instead of extending the epoch
+        // (its cost is the release wait, reported separately below).
         let overhead: Vec<(&str, f64)> = PHASES
             .iter()
             .skip(1)
+            .filter(|&&p| p != "LogShip")
             .filter_map(|&p| {
                 self.spans
                     .get(p)
@@ -295,6 +326,41 @@ impl Section {
                 self.repair_chunks,
                 self.repair_pages,
                 self.repair_bytes,
+            );
+        }
+        if self.log_events > 0 {
+            let lats = &self.log_commit_latencies;
+            let mean = lats.iter().sum::<Nanos>() as f64 / lats.len().max(1) as f64;
+            println!(
+                "hybrid replay log: {} events shipped ({} B), {} epoch logs \
+                 committed; per-chunk commit latency p50 {} / p99 {} / mean {} \
+                 (the release wait replacing the epoch ack)",
+                self.log_events,
+                self.log_bytes,
+                lats.len(),
+                fmt_ns(percentile(lats.clone(), 50.0)),
+                fmt_ns(percentile(lats.clone(), 99.0)),
+                fmt_ns(mean as Nanos),
+            );
+        }
+        if self.replay_starts > 0 {
+            println!(
+                "failover replay: {} attempt(s) over {} sealed epoch log(s) \
+                 ({} events); {} completed byte-identical in {}{}",
+                self.replay_starts,
+                self.replay_tail_epochs,
+                self.replay_events,
+                self.replay_completes,
+                fmt_ns(self.replay_time),
+                if self.replay_diverge_reasons.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        ", {} diverged ({}) -> last-checkpoint fallback",
+                        self.replay_diverge_reasons.len(),
+                        self.replay_diverge_reasons.join(", ")
+                    )
+                },
             );
         }
         if self.rearm_starts > 0 {

@@ -171,6 +171,9 @@ pub struct Scenario {
     /// Override the per-epoch repair/bootstrap chunk (tiny chunks stretch a
     /// repair across many epochs so mid-repair faults land reliably).
     pub chunk_pages: Option<u64>,
+    /// Run with the hybrid checkpoint + replay extension (`--replay`):
+    /// output releases at log commit and a failover replays the sealed tail.
+    pub replay: bool,
     /// Expected outcome per the failure-mode catalog.
     pub expect: Outcome,
 }
@@ -186,6 +189,7 @@ impl Default for Scenario {
             rearm: false,
             placement: None,
             chunk_pages: None,
+            replay: false,
             expect: Outcome::Recovered,
         }
     }
@@ -321,9 +325,34 @@ pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
         // partition) streams once commits flow again.
         Scenario {
             name: "backup-loss-in-partition",
-            schedule: none.window(s(430 * MS), s(540 * MS), FaultKind::Partition),
+            schedule: none.clone().window(s(430 * MS), s(540 * MS), FaultKind::Partition),
             backup_fault: Some(s(470 * MS)),
             placement: Some((2, 3)),
+            ..Default::default()
+        },
+        // ---- hybrid checkpoint + replay scenarios (`--replay`) ---------
+        // Log-ship through a partition window: chunks blocked by the
+        // partition fall back to the held/epoch-ack release path (nothing
+        // releases against an uncommitted log), the stalled epochs catch up
+        // at heal, and no failover happens — recovered, byte-identical.
+        Scenario {
+            name: "replay-logship-partition",
+            schedule: none
+                .clone()
+                .window(s(400 * MS), s(460 * MS), FaultKind::Partition),
+            replay: true,
+            ..Default::default()
+        },
+        // Fault mid-epoch with the log mid-ship: the truncated fault
+        // epoch's chunks commit up to the fault, the seal rides the
+        // boundary, and the promoted backup replays the sealed tail on top
+        // of the last checkpoint — recovered with the replayed state
+        // byte-identical (DESIGN.md §11 divergence rule covers the rest).
+        Scenario {
+            name: "replay-fault-mid-replay",
+            schedule: none,
+            primary_fault: Some(s(415 * MS)),
+            replay: true,
             ..Default::default()
         },
     ]
@@ -353,6 +382,7 @@ pub struct CellRun {
 fn chaos_mode(sc: &Scenario) -> RunMode {
     let mut opts = OptimizationConfig::nilicon();
     opts.rearm = sc.rearm;
+    opts.hybrid_replay = sc.replay;
     match sc.placement {
         Some((k, n)) => {
             opts.quorum = k;

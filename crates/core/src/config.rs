@@ -77,6 +77,16 @@ pub struct OptimizationConfig {
     /// per page (total overhead `n/k`× instead of mirroring's `n`×).
     /// Must satisfy `1 ≤ k ≤ n`. Ignored when `backups == 1`.
     pub quorum: u32,
+    /// EXTENSION (HyCoR, arXiv:2101.09584): hybrid checkpoint + replay —
+    /// record every nondeterministic event (request dispatch, recv payload +
+    /// delivery order, timer reads, scheduling points) into a per-epoch log,
+    /// ship log chunks to the backup continuously, and release output as soon
+    /// as the *log* commits instead of waiting for the epoch ack. At failover
+    /// the backup restores the last committed checkpoint and re-executes the
+    /// sealed log tail, reproducing byte-identical state and the exact output
+    /// stream; a log gap or partial tail falls back to the plain NiLiCon
+    /// last-checkpoint path. Off in every paper reproduction run.
+    pub hybrid_replay: bool,
 }
 
 impl OptimizationConfig {
@@ -97,6 +107,7 @@ impl OptimizationConfig {
             rearm: false,
             backups: 1,
             quorum: 1,
+            hybrid_replay: false,
         }
     }
 
@@ -117,6 +128,7 @@ impl OptimizationConfig {
             rearm: false,
             backups: 1,
             quorum: 1,
+            hybrid_replay: false,
         }
     }
 
@@ -276,6 +288,7 @@ mod tests {
             assert!(!cfg.rearm);
             assert_eq!(cfg.backups, 1, "paper rows: single warm backup");
             assert_eq!(cfg.quorum, 1);
+            assert!(!cfg.hybrid_replay, "paper rows: release waits for epoch ack");
             assert!(!cfg.dump_config().cow);
         }
         // The COW knob flows through to the CRIU dump config.
@@ -298,6 +311,7 @@ mod tests {
         assert_eq!(c.heartbeat_misses, 3);
         // Re-replication pacing knobs exist but the knob itself is off.
         assert!(!c.opts.rearm);
+        assert!(!c.opts.hybrid_replay);
         assert_eq!(c.rearm_delay, 60 * MILLISECOND);
         assert_eq!(c.rearm_backoff, 120 * MILLISECOND);
         assert_eq!(c.rearm_chunk_pages, 256);

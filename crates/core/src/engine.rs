@@ -4,6 +4,7 @@
 use nilicon_container::Container;
 use nilicon_criu::RestoredContainer;
 use nilicon_sim::kernel::Kernel;
+use nilicon_sim::replay::{ReplayEvent, ReplayLog};
 use nilicon_sim::time::Nanos;
 use nilicon_sim::{SimError, SimResult};
 
@@ -100,6 +101,48 @@ pub struct RepairBegin {
 fn no_placement<T>() -> SimResult<T> {
     Err(SimError::Invalid(
         "engine does not support k-of-n placement".into(),
+    ))
+}
+
+/// What shipping one batch of nondeterminism-log events produced
+/// ([`Checkpointer::ship_log`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogShipOutcome {
+    /// Wire bytes the events carried.
+    pub bytes: u64,
+    /// Chunks (messages) the batch was shipped as.
+    pub chunks: u64,
+    /// Round-trip from handing the batch to the link until the backup's
+    /// log-commit confirmation — the client-visible release wait under
+    /// hybrid replay (replaces the epoch ack).
+    pub commit_latency: Nanos,
+    /// Backup CPU consumed receiving and storing the batch.
+    pub backup_cpu: Nanos,
+}
+
+/// The sealed-log tail available for failover replay
+/// ([`Checkpointer::take_replay_tail`]): every *sealed* epoch log past the
+/// last committed checkpoint, stopping at the first gap or unsealed log.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayTail {
+    /// Contiguous sealed logs, ascending epoch order, all `> committed`.
+    pub logs: Vec<ReplayLog>,
+    /// True if an unsealed (partial) or missing epoch log truncated the tail
+    /// — the divergence signal that forces the last-checkpoint fallback when
+    /// it cuts the tail short of the fault epoch.
+    pub dropped_partial: bool,
+}
+
+impl ReplayTail {
+    /// Total events across the tail.
+    pub fn events(&self) -> u64 {
+        self.logs.iter().map(|l| l.len() as u64).sum()
+    }
+}
+
+fn no_replay<T>() -> SimResult<T> {
+    Err(SimError::Invalid(
+        "engine does not support hybrid replay".into(),
     ))
 }
 
@@ -240,6 +283,40 @@ pub trait Checkpointer {
     /// fragment store (the harness retries later with backoff).
     fn repair_abort(&mut self) -> SimResult<()> {
         no_placement()
+    }
+
+    /// Whether this engine ships a nondeterminism log and can replay it at
+    /// failover (the `hybrid_replay` extension). When `false`, the remaining
+    /// methods in this block error by default and the harness keeps the
+    /// paper's release-at-epoch-ack behavior.
+    fn supports_replay(&self) -> bool {
+        false
+    }
+
+    /// Ship a batch of recorded nondeterministic events for `epoch` to the
+    /// backup's log store. Called continuously during the execution phase —
+    /// the returned `commit_latency` is what released output waits on
+    /// instead of the epoch ack.
+    fn ship_log(
+        &mut self,
+        _primary: &mut Kernel,
+        _epoch: u64,
+        _events: &[ReplayEvent],
+    ) -> SimResult<LogShipOutcome> {
+        no_replay()
+    }
+
+    /// Mark `epoch`'s log complete on the backup. Only sealed logs are
+    /// eligible for failover replay; an unsealed log is a partial tail.
+    fn seal_log(&mut self, _epoch: u64) -> SimResult<()> {
+        no_replay()
+    }
+
+    /// At failover: take the contiguous sealed-log tail past the last
+    /// committed checkpoint (see [`ReplayTail`]). Logs for committed epochs
+    /// are dropped — their effects are already in the checkpoint.
+    fn take_replay_tail(&mut self) -> SimResult<ReplayTail> {
+        no_replay()
     }
 }
 

@@ -20,7 +20,9 @@ use crate::config::ReplicationConfig;
 use crate::detector::{FailureDetector, HeartbeatSender, Lease};
 use crate::engine::{Checkpointer, FailoverReport};
 use crate::metrics::{EpochRecord, RunMetrics};
+use crate::replay::replay_tail;
 use crate::trace::{TraceEvent, Tracer};
+use nilicon_sim::replay::{content_hash, ReplayEvent};
 use crate::traffic::{ClientBehavior, ClientPool};
 use nilicon_container::{
     encode_frame, try_decode_frame, Application, Container, ContainerRuntime, ContainerSpec,
@@ -325,6 +327,11 @@ impl RunHarness {
         if let RunMode::Replicated(engine) = &mut mode {
             engine.prepare(cluster.host_mut(primary), &container)?;
             cluster.host_mut(primary).meter.take();
+            if engine.supports_replay() {
+                // Hybrid replay: the primary kernel records nondeterministic
+                // events from here on (dormant on every paper row).
+                cluster.host_mut(primary).replay.enable();
+            }
         }
 
         let interval = cfg.heartbeat_interval;
@@ -421,6 +428,12 @@ impl RunHarness {
     /// non-rearm failover or backup loss).
     pub fn replication_active(&self) -> bool {
         matches!(self.mode, RunMode::Replicated(_))
+    }
+
+    /// Whether the hybrid-replay extension is recording this run's epochs
+    /// (the active engine supports it and is driving epochs).
+    fn replay_on(&self) -> bool {
+        matches!(&self.mode, RunMode::Replicated(e) if e.supports_replay())
     }
 
     /// Byte snapshot of the active container's guest heap: `pages` pages per
@@ -816,6 +829,14 @@ impl RunHarness {
             }
             if pf_due {
                 let t = self.faults.pop_front().expect("front checked");
+                if self.replay_on() {
+                    // Hybrid replay: execution up to the fault instant is
+                    // recoverable via the log, so serve the partial epoch
+                    // before failing over instead of rounding down to the
+                    // previous checkpoint.
+                    self.run_truncated_epoch(t.max(now))?;
+                    continue;
+                }
                 self.handle_primary_fault(t.max(now))?;
                 continue;
             }
@@ -864,6 +885,16 @@ impl RunHarness {
         let mut requests_done = 0u64;
         let mut steps_done = 0u64;
         let mut completions: Vec<(Endpoint, Nanos)> = Vec::new();
+        // Hybrid-replay accounting: per-epoch log traffic, shipped as the
+        // execution phase produces it (HyCoR-style continuous streaming).
+        let replay_on = self.replay_on();
+        let cl_lat = self.cluster.host_mut(host).costs.client_link_latency;
+        let mut log_events = 0u64;
+        let mut log_bytes = 0u64;
+        let mut log_time: Nanos = 0;
+        let mut log_commit_max: Nanos = 0;
+        let mut log_backup_cpu: Nanos = 0;
+        let mut step_events: Vec<ReplayEvent> = Vec::new();
 
         {
             let k = self.cluster.host_mut(host);
@@ -896,8 +927,50 @@ impl RunHarness {
                 let wall_used = used.saturating_mul(stretch_num) / self.cfg.epoch_exec;
                 let t_done = arrival.max(exec_start) + wall_used;
                 self.send_response(remote, &response.response)?;
-                completions.push((remote, t_done));
                 requests_done += 1;
+                if replay_on {
+                    // Ship this completion's log chunk immediately; once the
+                    // backup acks the chunk the response is externalizable —
+                    // it does not wait for the epoch checkpoint.
+                    let t_chunk = exec_start + used;
+                    let blocked = self
+                        .chaos
+                        .as_ref()
+                        .is_some_and(|ch| ch.cfg.schedule.blocked(t_chunk, LinkDir::AtoB));
+                    if blocked {
+                        // The log link is cut: the chunk cannot commit, so
+                        // this completion falls back to the epoch-ack path.
+                        completions.push((remote, t_done));
+                    } else {
+                        let ev = ReplayEvent::Request {
+                            pid,
+                            at: arrival,
+                            payload: req,
+                            response_hash: content_hash(&response.response),
+                            response_len: response.response.len() as u32,
+                        };
+                        let ship = {
+                            let RunMode::Replicated(engine) = &mut self.mode else {
+                                unreachable!()
+                            };
+                            let (pk, _bk) =
+                                self.cluster.two_hosts_mut(self.primary, self.backup);
+                            engine.ship_log(pk, self.epoch, &[ev])?
+                        };
+                        log_events += 1;
+                        log_bytes += ship.bytes;
+                        log_time += ship.commit_latency;
+                        log_commit_max = log_commit_max.max(ship.commit_latency);
+                        log_backup_cpu += ship.backup_cpu;
+                        self.metrics.release_waits.push(ship.commit_latency);
+                        self.receipts
+                            .entry(remote)
+                            .or_default()
+                            .push_back(t_done + ship.commit_latency + cl_lat);
+                    }
+                } else {
+                    completions.push((remote, t_done));
+                }
             }
         } else {
             while used < budget && !self.batch_done {
@@ -910,9 +983,40 @@ impl RunHarness {
                 let cost = self.cluster.host_mut(host).meter.take();
                 used += cost.max(100);
                 steps_done += 1;
+                if replay_on {
+                    step_events.push(ReplayEvent::Step {
+                        pid,
+                        at: exec_start + used,
+                        done: outcome.done,
+                    });
+                }
                 if outcome.done {
                     self.batch_done = true;
                 }
+            }
+        }
+
+        // Batch workloads have no per-request output to release early, so
+        // their step log ships as one aggregate chunk at the epoch boundary.
+        if replay_on && !step_events.is_empty() {
+            let blocked = self
+                .chaos
+                .as_ref()
+                .is_some_and(|ch| ch.cfg.schedule.blocked(epoch_end, LinkDir::AtoB));
+            if !blocked {
+                let n = step_events.len() as u64;
+                let ship = {
+                    let RunMode::Replicated(engine) = &mut self.mode else {
+                        unreachable!()
+                    };
+                    let (pk, _bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
+                    engine.ship_log(pk, self.epoch, &step_events)?
+                };
+                log_events += n;
+                log_bytes += ship.bytes;
+                log_time += ship.commit_latency;
+                log_commit_max = log_commit_max.max(ship.commit_latency);
+                log_backup_cpu += ship.backup_cpu;
             }
         }
 
@@ -1003,6 +1107,14 @@ impl RunHarness {
             };
             self.cluster.clock.advance(outcome.stop_time);
             self.last_stop = outcome.stop_time;
+            if replay_on {
+                // The seal rides the checkpoint transfer: it marks the
+                // epoch's log complete so a failover can replay it whole.
+                let RunMode::Replicated(engine) = &mut self.mode else {
+                    unreachable!()
+                };
+                engine.seal_log(epoch)?;
+            }
             // Chaos delay spikes stretch the ack round-trip (transfer out
             // plus ack back). With a staging engine the stretch is an
             // explicit ack-phase span so the reconciliation identity still
@@ -1028,9 +1140,28 @@ impl RunHarness {
             };
             // The engine's phase spans must tile exactly the stop time and
             // ack delay it reported (the OBSERVABILITY.md invariant).
-            self.tracer
-                .reconcile(epoch, outcome.stop_time, traced_ack)
-                .map_err(SimError::Invalid)?;
+            if replay_on {
+                if log_events > 0 {
+                    self.tracer.span(
+                        TraceEvent::LogShip {
+                            events: log_events,
+                            bytes: log_bytes,
+                        },
+                        log_time,
+                    );
+                    self.tracer.mark(TraceEvent::LogCommit {
+                        events: log_events,
+                        commit_latency: log_commit_max,
+                    });
+                }
+                self.tracer
+                    .reconcile_with_log(epoch, outcome.stop_time, traced_ack, log_time)
+                    .map_err(SimError::Invalid)?;
+            } else {
+                self.tracer
+                    .reconcile(epoch, outcome.stop_time, traced_ack)
+                    .map_err(SimError::Invalid)?;
+            }
             let release_time = self.cluster.clock.now() + outcome.ack_delay + chaos_extra;
 
             if let Some(ch) = self.chaos.as_mut() {
@@ -1084,7 +1215,7 @@ impl RunHarness {
                     ack_delay: outcome.ack_delay + chaos_extra,
                     exec_cpu: consumed,
                     tracking_overhead,
-                    backup_cpu: outcome.backup_cpu + commit_cpu,
+                    backup_cpu: outcome.backup_cpu + commit_cpu + log_backup_cpu,
                     requests_done,
                     steps_done,
                 });
@@ -1122,6 +1253,11 @@ impl RunHarness {
                 let held = std::mem::take(&mut self.held);
                 for (remote, t_done) in held.into_iter().chain(completions) {
                     let receipt = t_done.max(release_time) + cl;
+                    if !replay_on {
+                        self.metrics
+                            .release_waits
+                            .push(release_time.saturating_sub(t_done));
+                    }
                     self.receipts.entry(remote).or_default().push_back(receipt);
                 }
                 self.client_collect(release_time)?;
@@ -1133,7 +1269,7 @@ impl RunHarness {
                     ack_delay: outcome.ack_delay,
                     exec_cpu: consumed,
                     tracking_overhead,
-                    backup_cpu: outcome.backup_cpu + commit_cpu,
+                    backup_cpu: outcome.backup_cpu + commit_cpu + log_backup_cpu,
                     requests_done,
                     steps_done,
                 });
@@ -1162,6 +1298,213 @@ impl RunHarness {
         // way). Multi-process CPU capacity is modeled by `parallelism`.
         self.rr += 1;
         self.container.workers[0]
+    }
+
+    /// Hybrid replay: a primary fault lands inside the coming epoch. The
+    /// primary executes right up to the fault instant, shipping log chunks
+    /// as it goes; the epoch's checkpoint never runs. If every chunk
+    /// committed, the truncated log seals and failover replay recovers the
+    /// partial epoch byte-identically; a chunk lost to a cut link leaves the
+    /// log unsealed, nothing from the epoch is released, and recovery falls
+    /// back to the last checkpoint (clients retransmit).
+    fn run_truncated_epoch(&mut self, fault_time: Nanos) -> SimResult<()> {
+        let exec_start = self.cluster.clock.now();
+        let host = self.active_host();
+        self.tracer.begin_epoch(self.epoch, exec_start);
+        self.client_turnaround(exec_start)?;
+
+        let exec_window = fault_time
+            .saturating_sub(exec_start)
+            .min(self.cfg.epoch_exec);
+        let budget = (exec_window as f64 * self.parallelism) as Nanos;
+        let cl_lat = self.cluster.host_mut(host).costs.client_link_latency;
+        let mut used: Nanos = KEEPALIVE_COST + self.cpu_debt;
+        let mut requests_done = 0u64;
+        let mut steps_done = 0u64;
+        // (receipt time, release wait) per committed chunk — deliverable
+        // only if the *whole* truncated log commits.
+        let mut released: Vec<(Endpoint, Nanos, Nanos)> = Vec::new();
+        let mut blocked_any = false;
+        let mut log_events = 0u64;
+        let mut log_bytes = 0u64;
+        let mut log_time: Nanos = 0;
+        let mut log_commit_max: Nanos = 0;
+
+        {
+            let k = self.cluster.host_mut(host);
+            k.meter.take();
+            k.fault_meter.take();
+        }
+
+        if self.app.is_server() {
+            while used < budget {
+                let Some(pos) = self
+                    .pending
+                    .iter()
+                    .position(|(_, _, arrival)| *arrival <= fault_time)
+                else {
+                    break;
+                };
+                let (remote, req, arrival) = self.pending.remove(pos).expect("pos valid");
+                let pid = self.pick_worker();
+                let response = {
+                    let k = self.cluster.host_mut(host);
+                    let mut ctx = GuestCtx::new(k, pid, exec_start + used);
+                    self.app.handle_request(&mut ctx, &req)?
+                };
+                let cost = self.cluster.host_mut(host).meter.take();
+                used += cost.max(100);
+                let stretch_num = self.cfg.epoch_exec + self.last_stop;
+                let wall_used = used.saturating_mul(stretch_num) / self.cfg.epoch_exec;
+                let t_done = arrival.max(exec_start) + wall_used;
+                self.send_response(remote, &response.response)?;
+                requests_done += 1;
+                let t_chunk = exec_start + used;
+                let blocked = self
+                    .chaos
+                    .as_ref()
+                    .is_some_and(|ch| ch.cfg.schedule.blocked(t_chunk, LinkDir::AtoB));
+                if blocked {
+                    blocked_any = true;
+                    continue;
+                }
+                let ev = ReplayEvent::Request {
+                    pid,
+                    at: arrival,
+                    payload: req,
+                    response_hash: content_hash(&response.response),
+                    response_len: response.response.len() as u32,
+                };
+                let ship = {
+                    let RunMode::Replicated(engine) = &mut self.mode else {
+                        unreachable!()
+                    };
+                    let (pk, _bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
+                    engine.ship_log(pk, self.epoch, &[ev])?
+                };
+                log_events += 1;
+                log_bytes += ship.bytes;
+                log_time += ship.commit_latency;
+                log_commit_max = log_commit_max.max(ship.commit_latency);
+                released.push((
+                    remote,
+                    t_done + ship.commit_latency + cl_lat,
+                    ship.commit_latency,
+                ));
+            }
+        } else {
+            let mut step_events: Vec<ReplayEvent> = Vec::new();
+            while used < budget && !self.batch_done {
+                let pid = self.container.workers[0];
+                let outcome = {
+                    let k = self.cluster.host_mut(host);
+                    let mut ctx = GuestCtx::new(k, pid, exec_start + used);
+                    self.app.step(&mut ctx)?
+                };
+                let cost = self.cluster.host_mut(host).meter.take();
+                used += cost.max(100);
+                steps_done += 1;
+                step_events.push(ReplayEvent::Step {
+                    pid,
+                    at: exec_start + used,
+                    done: outcome.done,
+                });
+                if outcome.done {
+                    self.batch_done = true;
+                }
+            }
+            if !step_events.is_empty() {
+                let blocked = self
+                    .chaos
+                    .as_ref()
+                    .is_some_and(|ch| ch.cfg.schedule.blocked(fault_time, LinkDir::AtoB));
+                if blocked {
+                    blocked_any = true;
+                } else {
+                    let n = step_events.len() as u64;
+                    let ship = {
+                        let RunMode::Replicated(engine) = &mut self.mode else {
+                            unreachable!()
+                        };
+                        let (pk, _bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
+                        engine.ship_log(pk, self.epoch, &step_events)?
+                    };
+                    log_events += n;
+                    log_bytes += ship.bytes;
+                    log_time += ship.commit_latency;
+                    log_commit_max = log_commit_max.max(ship.commit_latency);
+                }
+            }
+        }
+
+        // Work interrupted by the fault dies with the primary.
+        self.cpu_debt = 0;
+        let consumed = used.min(budget);
+        let tracking_overhead = self.cluster.host_mut(host).fault_meter.take();
+        let cg = self.container.cgroup;
+        self.cluster.host_mut(host).cgroups.charge_cpu(cg, consumed);
+        self.tracer.span(
+            TraceEvent::Exec {
+                requests: requests_done,
+                steps: steps_done,
+            },
+            exec_window,
+        );
+        if log_events > 0 {
+            self.tracer.span(
+                TraceEvent::LogShip {
+                    events: log_events,
+                    bytes: log_bytes,
+                },
+                log_time,
+            );
+            self.tracer.mark(TraceEvent::LogCommit {
+                events: log_events,
+                commit_latency: log_commit_max,
+            });
+        }
+
+        if blocked_any {
+            // Part of the log never committed: the epoch's log stays
+            // unsealed and *nothing* from it is released — a blocked
+            // response escaping would expose state the fallback image does
+            // not contain. The partial tail forces fallback replay; clients
+            // retransmit and the recovered container re-serves them.
+        } else {
+            // The whole truncated log committed: seal it so failover replay
+            // covers this partial epoch, and deliver the outputs that were
+            // granted release at log commit.
+            {
+                let RunMode::Replicated(engine) = &mut self.mode else {
+                    unreachable!()
+                };
+                engine.seal_log(self.epoch)?;
+            }
+            let ns = self.container.ns.net;
+            let released_pkts = self.cluster.host_mut(host).stack_mut(ns)?.release_output();
+            self.tracer.event_at(
+                TraceEvent::OutputRelease {
+                    packets: released_pkts as u64,
+                },
+                fault_time,
+            );
+            self.cluster.pump();
+            for (remote, receipt, wait) in released.drain(..) {
+                self.metrics.release_waits.push(wait);
+                self.receipts.entry(remote).or_default().push_back(receipt);
+            }
+            self.client_collect(fault_time)?;
+        }
+        self.metrics.push(EpochRecord {
+            epoch: self.epoch,
+            exec_cpu: consumed,
+            tracking_overhead,
+            requests_done,
+            steps_done,
+            ..Default::default()
+        });
+        self.epoch += 1;
+        self.do_failover(fault_time)
     }
 
     // ------------------------------------------------------------------
@@ -1288,6 +1631,64 @@ impl RunHarness {
             self.app.recover(&mut ctx)?;
             k.meter.take();
             k.fault_meter.take();
+        }
+
+        // Hybrid replay: re-execute the sealed log tail on top of the
+        // restored checkpoint, recovering the post-checkpoint execution
+        // whose outputs were already released at log commit. A divergence
+        // (gap, partial tail, hash mismatch) falls back to the plain
+        // last-checkpoint state just restored.
+        let tail = {
+            let RunMode::Replicated(engine) = &mut self.mode else {
+                unreachable!()
+            };
+            if engine.supports_replay() {
+                Some(engine.take_replay_tail()?)
+            } else {
+                None
+            }
+        };
+        if let Some(tail) = tail {
+            if !tail.logs.is_empty() || tail.dropped_partial {
+                let now = self.cluster.clock.now();
+                self.tracer.event_at(
+                    TraceEvent::ReplayStart {
+                        epochs: tail.logs.len() as u64,
+                        events: tail.events(),
+                    },
+                    now,
+                );
+                let out = replay_tail(
+                    &mut *self.cluster.host_mut(self.backup),
+                    &restored.container,
+                    self.app.as_mut(),
+                    &tail,
+                )?;
+                self.cluster.clock.advance(out.replay_cpu);
+                let done = self.cluster.clock.now();
+                match out.diverged {
+                    Some(reason) => {
+                        self.tracer
+                            .event_at(TraceEvent::ReplayDiverge { reason }, done);
+                        // The executor rolled guest memory back; re-derive
+                        // the app's working state from the checkpoint too.
+                        let k = self.cluster.host_mut(self.backup);
+                        let mut ctx = GuestCtx::new(k, restored.container.workers[0], done);
+                        self.app.recover(&mut ctx)?;
+                        k.meter.take();
+                        k.fault_meter.take();
+                    }
+                    None => {
+                        self.tracer.event_at(
+                            TraceEvent::ReplayComplete {
+                                events: out.events,
+                                replay_time: out.replay_cpu,
+                            },
+                            done,
+                        );
+                    }
+                }
+            }
         }
 
         // Uncommitted driver-side buffers are garbage now: the clients will
@@ -1675,6 +2076,10 @@ impl RunHarness {
                 engine.bootstrap_finish(self.cluster.host_mut(self.backup), epoch)?;
             }
             let engine = self.parked.take().expect("just used");
+            if engine.supports_replay() {
+                // The promoted host resumes recording for the new pair.
+                self.cluster.host_mut(self.primary).replay.enable();
+            }
             self.mode = RunMode::Replicated(engine);
             self.rearm = RearmState::Armed;
             self.detector = FailureDetector::new(

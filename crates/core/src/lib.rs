@@ -93,6 +93,7 @@ pub mod harness;
 pub mod metrics;
 pub mod nilicon_engine;
 pub mod placement;
+pub mod replay;
 pub mod trace;
 pub mod traffic;
 
@@ -102,7 +103,9 @@ pub use detector::{FailureDetector, Lease};
 pub use engine::{BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport};
 pub use harness::{ChaosStats, RunHarness, RunMode, RunResult};
 pub use metrics::{percentile, EpochRecord, RunMetrics};
+pub use engine::{LogShipOutcome, ReplayTail};
 pub use nilicon_engine::NiLiConEngine;
 pub use placement::PlacementEngine;
+pub use replay::{replay_tail, ReplayOutcome};
 pub use trace::{TraceEvent, TraceRecord, TraceSink, Tracer};
 pub use traffic::{ClientBehavior, ClientPool};

@@ -46,6 +46,11 @@ pub struct RunMetrics {
     pub exec_cpu_total: Nanos,
     /// Per-response client latencies (server workloads).
     pub response_latencies: Vec<Nanos>,
+    /// Per-response output-release waits: time from a response being ready
+    /// until it is externalizable. Epoch-ack release waits for the next
+    /// checkpoint commit (~tens of ms); hybrid-replay release waits only for
+    /// the response's log chunk to commit (~tens of µs).
+    pub release_waits: Vec<Nanos>,
 }
 
 impl RunMetrics {
@@ -100,6 +105,17 @@ impl RunMetrics {
     /// Mean response latency (Table VI).
     pub fn mean_latency(&self) -> Nanos {
         avg(self.response_latencies.iter().copied())
+    }
+
+    /// Mean output-release wait (the Table-VI latency component that hybrid
+    /// replay attacks).
+    pub fn mean_release_wait(&self) -> Nanos {
+        avg(self.release_waits.iter().copied())
+    }
+
+    /// Output-release-wait percentile.
+    pub fn release_wait_percentile(&self, p: f64) -> Nanos {
+        percentile(self.release_waits.clone(), p)
     }
 
     /// Backup core utilization: backup CPU / elapsed (Table V).

@@ -2,7 +2,10 @@
 
 use crate::backup::BackupAgent;
 use crate::config::OptimizationConfig;
-use crate::engine::{BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport};
+use crate::engine::{
+    BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport, LogShipOutcome,
+    ReplayTail,
+};
 use crate::trace::{TraceEvent, Tracer};
 use nilicon_container::Container;
 use nilicon_criu::{
@@ -14,8 +17,10 @@ use nilicon_sim::ids::Pid;
 use nilicon_sim::kernel::Kernel;
 use nilicon_sim::mem::TrackingMode;
 use nilicon_sim::net::InputMode;
+use nilicon_sim::replay::{ReplayEvent, ReplayLog};
 use nilicon_sim::time::Nanos;
 use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+use std::collections::BTreeMap;
 
 /// NiLiCon's primary-side engine plus the buffered backup agent.
 pub struct NiLiConEngine {
@@ -43,6 +48,19 @@ pub struct NiLiConEngine {
     /// epoch's assembly is never finished at the backup, so it can never be
     /// acked or committed — failover must fall back to the previous epoch.
     pub cow_fail_after_chunks: Option<u64>,
+    /// Backup-side store of the shipped nondeterminism logs, keyed by epoch
+    /// (`hybrid_replay` extension). Lives engine-side next to the agent — log
+    /// chunks are event-typed, not page-typed, so they do not ride the page
+    /// assembly barrier, but they share its fate: `rearm_prepare` drops them
+    /// with the dead backup.
+    log_store: BTreeMap<u64, ReplayLog>,
+    /// Test-only fault injection: the primary dies after shipping this many
+    /// log chunks — later chunks (and the seal message) are lost in flight,
+    /// leaving the tail epoch's log *partial*. Failover must then take the
+    /// plain last-checkpoint fallback instead of replaying.
+    pub log_fail_after_chunks: Option<u64>,
+    /// Log chunks shipped so far (drives `log_fail_after_chunks`).
+    log_chunks_shipped: u64,
 }
 
 impl std::fmt::Debug for NiLiConEngine {
@@ -70,7 +88,16 @@ impl NiLiConEngine {
             bootstrap_pids: Vec::new(),
             bootstrap_cpu_carry: 0,
             cow_fail_after_chunks: None,
+            log_store: BTreeMap::new(),
+            log_fail_after_chunks: None,
+            log_chunks_shipped: 0,
         }
+    }
+
+    /// Is the log-loss fault injection currently swallowing chunks?
+    fn log_link_down(&self) -> bool {
+        self.log_fail_after_chunks
+            .is_some_and(|k| self.log_chunks_shipped >= k)
     }
 
     /// Active optimization set.
@@ -433,6 +460,9 @@ impl Checkpointer for NiLiConEngine {
     }
 
     fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos> {
+        // Logs at or below the committed checkpoint are dead weight — their
+        // effects are inside the checkpoint image.
+        self.log_store.retain(|&e, _| e > epoch);
         if self.opts.staging_buffer {
             let cpu = self.agent.commit(epoch, &mut backup.vfs.disk)?;
             if self.tracer.enabled() {
@@ -496,6 +526,8 @@ impl Checkpointer for NiLiConEngine {
         self.shadow = ShadowStore::new();
         self.bootstrap_pids.clear();
         self.bootstrap_cpu_carry = 0;
+        self.log_store.clear();
+        self.log_chunks_shipped = 0;
         self.prepared = false;
         self.prepare(primary, container)
     }
@@ -636,6 +668,99 @@ impl Checkpointer for NiLiConEngine {
         self.bootstrap_cpu_carry = 0;
         let _ = self.agent.discard_uncommitted();
         Ok(())
+    }
+
+    fn supports_replay(&self) -> bool {
+        self.opts.hybrid_replay
+    }
+
+    fn ship_log(
+        &mut self,
+        primary: &mut Kernel,
+        epoch: u64,
+        events: &[ReplayEvent],
+    ) -> SimResult<LogShipOutcome> {
+        if !self.opts.hybrid_replay {
+            return Err(SimError::Invalid("hybrid_replay is off".into()));
+        }
+        if events.is_empty() {
+            return Ok(LogShipOutcome::default());
+        }
+        let c = &primary.costs;
+        let bytes: u64 = events.iter().map(ReplayEvent::byte_len).sum();
+        let backup_cpu = c.backup_recv(bytes, 1);
+        // One chunk out, one commit confirmation back — the whole point of
+        // the hybrid scheme is that this round-trip is link-scale (~tens of
+        // µs), not epoch-scale.
+        let commit_latency = c.repl_link_latency
+            + c.repl_wire(bytes)
+            + c.repl_msg_overhead
+            + backup_cpu
+            + c.repl_link_latency;
+        let link_down = self.log_link_down();
+        self.log_chunks_shipped += 1;
+        if link_down {
+            // The chunk left the primary but never arrived: the epoch's log
+            // stays short and unsealed. The caller still observes a normal
+            // send — the primary cannot know its link just died.
+            return Ok(LogShipOutcome {
+                bytes,
+                chunks: 1,
+                commit_latency,
+                backup_cpu: 0,
+            });
+        }
+        let log = self
+            .log_store
+            .entry(epoch)
+            .or_insert_with(|| ReplayLog::new(epoch));
+        log.events.extend_from_slice(events);
+        Ok(LogShipOutcome {
+            bytes,
+            chunks: 1,
+            commit_latency,
+            backup_cpu,
+        })
+    }
+
+    fn seal_log(&mut self, epoch: u64) -> SimResult<()> {
+        if !self.opts.hybrid_replay {
+            return Err(SimError::Invalid("hybrid_replay is off".into()));
+        }
+        if self.log_link_down() {
+            return Ok(()); // the seal message is lost with the link
+        }
+        self.log_store
+            .entry(epoch)
+            .or_insert_with(|| ReplayLog::new(epoch))
+            .sealed = true;
+        Ok(())
+    }
+
+    fn take_replay_tail(&mut self) -> SimResult<ReplayTail> {
+        if !self.opts.hybrid_replay {
+            return Err(SimError::Invalid("hybrid_replay is off".into()));
+        }
+        let committed = self.agent.committed_epoch();
+        let store = std::mem::take(&mut self.log_store);
+        let mut tail = ReplayTail::default();
+        let mut expect = committed.map(|e| e + 1).unwrap_or(1);
+        for (epoch, log) in store {
+            if committed.is_some_and(|c| epoch <= c) {
+                continue; // already inside the checkpoint
+            }
+            if epoch != expect {
+                tail.dropped_partial = true; // gap: a whole epoch log vanished
+                break;
+            }
+            if !log.sealed {
+                tail.dropped_partial = true; // partial tail: seal never landed
+                break;
+            }
+            expect += 1;
+            tail.logs.push(log);
+        }
+        Ok(tail)
     }
 }
 
@@ -1094,5 +1219,130 @@ mod tests {
 
         assert!(slow.restore > fast.restore);
         assert!(slow.tcp <= fast.tcp, "more RTO overlap with longer restore");
+    }
+
+    fn replay_setup() -> (Kernel, Kernel, Container, NiLiConEngine) {
+        let mut primary = Kernel::default();
+        let backup = Kernel::default();
+        let spec = ContainerSpec::server("redis", 10, 6379);
+        let c = ContainerRuntime::create(&mut primary, &spec).unwrap();
+        let mut opts = OptimizationConfig::nilicon();
+        opts.hybrid_replay = true;
+        let engine = NiLiConEngine::new(opts, primary.costs.clone());
+        (primary, backup, c, engine)
+    }
+
+    fn req_event(at: u64) -> ReplayEvent {
+        ReplayEvent::Request {
+            pid: Pid(1),
+            at,
+            payload: vec![1, 2, 3],
+            response_hash: 42,
+            response_len: 3,
+        }
+    }
+
+    #[test]
+    fn replay_api_rejected_unless_enabled() {
+        let (mut p, _b, _c, mut e) = setup(); // paper config: replay off
+        assert!(!e.supports_replay());
+        assert!(e.ship_log(&mut p, 1, &[req_event(0)]).is_err());
+        assert!(e.seal_log(1).is_err());
+        assert!(e.take_replay_tail().is_err());
+    }
+
+    #[test]
+    fn ship_log_commit_latency_is_link_scale() {
+        let (mut p, _b, _c, mut e) = replay_setup();
+        assert!(e.supports_replay());
+        let o = e.ship_log(&mut p, 1, &[req_event(0)]).unwrap();
+        assert_eq!(o.chunks, 1);
+        assert!(o.bytes > 0);
+        assert!(o.backup_cpu > 0);
+        assert!(
+            o.commit_latency < MILLISECOND,
+            "log commit RTT is µs-scale, got {}ns",
+            o.commit_latency
+        );
+        // Empty chunk: nothing crosses the wire.
+        let z = e.ship_log(&mut p, 1, &[]).unwrap();
+        assert_eq!(z.chunks, 0);
+        assert_eq!(z.commit_latency, 0);
+    }
+
+    #[test]
+    fn sealed_tail_is_contiguous_from_committed_epoch() {
+        let (mut p, mut b, c, mut e) = replay_setup();
+        e.prepare(&mut p, &c).unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        // Epochs 2 and 3 ship + seal after the checkpoint commit.
+        e.ship_log(&mut p, 2, &[req_event(10)]).unwrap();
+        e.seal_log(2).unwrap();
+        e.ship_log(&mut p, 3, &[req_event(20), req_event(21)]).unwrap();
+        e.seal_log(3).unwrap();
+        let tail = e.take_replay_tail().unwrap();
+        assert!(!tail.dropped_partial);
+        assert_eq!(tail.logs.len(), 2);
+        assert_eq!(tail.logs[0].epoch, 2);
+        assert_eq!(tail.logs[1].epoch, 3);
+        assert_eq!(tail.events(), 3);
+    }
+
+    #[test]
+    fn commit_prunes_logs_covered_by_the_checkpoint() {
+        let (mut p, mut b, c, mut e) = replay_setup();
+        e.prepare(&mut p, &c).unwrap();
+        e.ship_log(&mut p, 1, &[req_event(0)]).unwrap();
+        e.seal_log(1).unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        let tail = e.take_replay_tail().unwrap();
+        assert!(tail.logs.is_empty(), "epoch-1 log died with its checkpoint");
+        assert!(!tail.dropped_partial);
+    }
+
+    #[test]
+    fn gap_or_unsealed_log_marks_tail_partial() {
+        // Gap: epoch 2's log is missing entirely.
+        let (mut p, mut b, c, mut e) = replay_setup();
+        e.prepare(&mut p, &c).unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        e.ship_log(&mut p, 3, &[req_event(30)]).unwrap();
+        e.seal_log(3).unwrap();
+        let tail = e.take_replay_tail().unwrap();
+        assert!(tail.dropped_partial, "missing epoch 2 breaks the chain");
+        assert!(tail.logs.is_empty());
+
+        // Unsealed: epoch 2 shipped but the seal never landed.
+        let (mut p2, mut b2, c2, mut e2) = replay_setup();
+        e2.prepare(&mut p2, &c2).unwrap();
+        e2.checkpoint(&mut p2, &mut b2, &c2, 1).unwrap();
+        e2.commit(&mut b2, 1).unwrap();
+        e2.ship_log(&mut p2, 2, &[req_event(10)]).unwrap();
+        let tail2 = e2.take_replay_tail().unwrap();
+        assert!(tail2.dropped_partial, "unsealed tail epoch is unusable");
+        assert!(tail2.logs.is_empty());
+    }
+
+    #[test]
+    fn log_link_failure_loses_chunks_and_seal_in_flight() {
+        let (mut p, mut b, c, mut e) = replay_setup();
+        e.prepare(&mut p, &c).unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        e.log_fail_after_chunks = Some(1);
+        let o1 = e.ship_log(&mut p, 2, &[req_event(10)]).unwrap();
+        assert!(o1.backup_cpu > 0, "first chunk arrives");
+        // Second chunk and the seal are lost in flight; the primary cannot
+        // tell — it still observes a normal send.
+        let o2 = e.ship_log(&mut p, 2, &[req_event(11)]).unwrap();
+        assert_eq!(o2.backup_cpu, 0, "lost chunk burns no backup CPU");
+        assert_eq!(o2.chunks, 1);
+        e.seal_log(2).unwrap();
+        let tail = e.take_replay_tail().unwrap();
+        assert!(tail.dropped_partial, "partial log cannot be replayed");
+        assert!(tail.logs.is_empty());
     }
 }

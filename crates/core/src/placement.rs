@@ -51,7 +51,8 @@
 use crate::backup::BackupAgent;
 use crate::config::OptimizationConfig;
 use crate::engine::{
-    BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport, RepairBegin,
+    BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport, LogShipOutcome,
+    RepairBegin, ReplayTail,
 };
 use crate::trace::{TraceEvent, Tracer};
 use nilicon_container::Container;
@@ -65,6 +66,7 @@ use nilicon_sim::ids::Pid;
 use nilicon_sim::kernel::Kernel;
 use nilicon_sim::mem::TrackingMode;
 use nilicon_sim::net::InputMode;
+use nilicon_sim::replay::{ReplayEvent, ReplayLog};
 use nilicon_sim::time::Nanos;
 use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
 use std::collections::{BTreeMap, HashSet};
@@ -123,6 +125,17 @@ pub struct PlacementEngine {
     /// Replica CPU charged by `bootstrap_begin`, carried into the first
     /// `bootstrap_step`.
     bootstrap_cpu_carry: Nanos,
+    /// Replay logs by epoch. Each chunk is erasure-coded into n fragments
+    /// of `ceil(bytes/k)` and fanned out like epoch pages; a chunk counts
+    /// as committed at the k-th ack. The store holds the logical
+    /// (reconstructible) log — checkpoint already refuses below quorum, so
+    /// a stored chunk is always decodable from the survivors.
+    log_store: BTreeMap<u64, ReplayLog>,
+    /// Test hook mirroring `NiLiConEngine::log_fail_after_chunks`: once the
+    /// counter reaches the threshold, later chunks and the seal vanish in
+    /// flight.
+    pub log_fail_after_chunks: Option<u64>,
+    log_chunks_shipped: u64,
 }
 
 impl std::fmt::Debug for PlacementEngine {
@@ -171,7 +184,15 @@ impl PlacementEngine {
             repair: None,
             bootstrap_pids: Vec::new(),
             bootstrap_cpu_carry: 0,
+            log_store: BTreeMap::new(),
+            log_fail_after_chunks: None,
+            log_chunks_shipped: 0,
         })
+    }
+
+    fn log_link_down(&self) -> bool {
+        self.log_fail_after_chunks
+            .is_some_and(|k| self.log_chunks_shipped >= k)
     }
 
     /// Active optimization set.
@@ -498,6 +519,7 @@ impl Checkpointer for PlacementEngine {
     }
 
     fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos> {
+        self.log_store.retain(|&e, _| e > epoch);
         let mut cpu: Nanos = 0;
         let mut marked = false;
         for i in 0..self.replicas.len() {
@@ -620,6 +642,8 @@ impl Checkpointer for PlacementEngine {
         self.repair = None;
         self.bootstrap_pids.clear();
         self.bootstrap_cpu_carry = 0;
+        self.log_store.clear();
+        self.log_chunks_shipped = 0;
         self.prepared = false;
         self.prepare(primary, container)
     }
@@ -958,6 +982,105 @@ impl Checkpointer for PlacementEngine {
         let _ = self.replicas[rep.target].agent.discard_uncommitted();
         self.redirty.clear();
         Ok(())
+    }
+
+    fn supports_replay(&self) -> bool {
+        self.opts.hybrid_replay
+    }
+
+    fn ship_log(
+        &mut self,
+        primary: &mut Kernel,
+        epoch: u64,
+        events: &[ReplayEvent],
+    ) -> SimResult<LogShipOutcome> {
+        if !self.opts.hybrid_replay {
+            return Err(SimError::Invalid("hybrid_replay is off".into()));
+        }
+        if events.is_empty() {
+            return Ok(LogShipOutcome::default());
+        }
+        let k = self.codec.k() as u64;
+        let alive = self.alive_indices();
+        if (alive.len() as u64) < k {
+            return Err(SimError::Invalid(format!(
+                "cannot ship log below quorum: {} alive, need {k}",
+                alive.len()
+            )));
+        }
+        let c = &primary.costs;
+        let bytes: u64 = events.iter().map(ReplayEvent::byte_len).sum();
+        // Each replica receives one fragment of ceil(bytes/k); the links
+        // fan out in parallel, so the quorum (k-th) ack and the slowest
+        // coincide with uniform replicas — exactly the page path's model.
+        let frag_bytes = bytes.div_ceil(k);
+        let per_replica_cpu = c.backup_recv(frag_bytes, 1);
+        let commit_latency = c.repl_link_latency
+            + c.repl_wire(frag_bytes)
+            + c.repl_msg_overhead
+            + per_replica_cpu
+            + c.repl_link_latency;
+        let link_down = self.log_link_down();
+        self.log_chunks_shipped += 1;
+        if link_down {
+            return Ok(LogShipOutcome {
+                bytes: frag_bytes * alive.len() as u64,
+                chunks: 1,
+                commit_latency,
+                backup_cpu: 0,
+            });
+        }
+        let log = self
+            .log_store
+            .entry(epoch)
+            .or_insert_with(|| ReplayLog::new(epoch));
+        log.events.extend_from_slice(events);
+        Ok(LogShipOutcome {
+            bytes: frag_bytes * alive.len() as u64,
+            chunks: 1,
+            commit_latency,
+            backup_cpu: per_replica_cpu * alive.len() as u64,
+        })
+    }
+
+    fn seal_log(&mut self, epoch: u64) -> SimResult<()> {
+        if !self.opts.hybrid_replay {
+            return Err(SimError::Invalid("hybrid_replay is off".into()));
+        }
+        if self.log_link_down() {
+            return Ok(()); // the seal vanishes with the link
+        }
+        self.log_store
+            .entry(epoch)
+            .or_insert_with(|| ReplayLog::new(epoch))
+            .sealed = true;
+        Ok(())
+    }
+
+    fn take_replay_tail(&mut self) -> SimResult<ReplayTail> {
+        if !self.opts.hybrid_replay {
+            return Err(SimError::Invalid("hybrid_replay is off".into()));
+        }
+        let committed = self.committed_epoch();
+        let store = std::mem::take(&mut self.log_store);
+        let mut tail = ReplayTail::default();
+        let mut expect = committed.map(|e| e + 1).unwrap_or(1);
+        for (epoch, log) in store {
+            if committed.is_some_and(|c| epoch <= c) {
+                continue;
+            }
+            if epoch != expect {
+                tail.dropped_partial = true;
+                break;
+            }
+            if !log.sealed {
+                tail.dropped_partial = true;
+                break;
+            }
+            expect += 1;
+            tail.logs.push(log);
+        }
+        Ok(tail)
     }
 }
 
@@ -1322,5 +1445,64 @@ mod tests {
         )
         .unwrap();
         assert_eq!(pg[0], 3 | 1, "pre-migration content, not the late write");
+    }
+
+    #[test]
+    fn log_chunks_ride_the_coded_fanout() {
+        let mut opts = placement_opts(2, 3);
+        opts.hybrid_replay = true;
+        let mut p = Kernel::default();
+        let mut b = Kernel::default();
+        let c =
+            ContainerRuntime::create(&mut p, &ContainerSpec::server("redis", 10, 6379)).unwrap();
+        let mut e = PlacementEngine::new(opts, p.costs.clone()).unwrap();
+        e.prepare(&mut p, &c).unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+
+        let ev = ReplayEvent::Request {
+            pid: c.init_pid(),
+            at: 5,
+            payload: vec![0xAA; 300],
+            response_hash: 7,
+            response_len: 4,
+        };
+        let o = e.ship_log(&mut p, 2, std::slice::from_ref(&ev)).unwrap();
+        // n fragments of ceil(bytes/k): wire total is 1.5x the raw chunk,
+        // but the parallel quorum commit still lands at link scale.
+        let raw = ev.byte_len();
+        assert_eq!(o.bytes, raw.div_ceil(2) * 3);
+        assert!(o.commit_latency < nilicon_sim::time::MILLISECOND);
+        e.seal_log(2).unwrap();
+        let tail = e.take_replay_tail().unwrap();
+        assert!(!tail.dropped_partial);
+        assert_eq!(tail.logs.len(), 1);
+        assert_eq!(tail.events(), 1);
+    }
+
+    #[test]
+    fn placement_log_loss_yields_partial_tail() {
+        let mut opts = placement_opts(2, 3);
+        opts.hybrid_replay = true;
+        let mut p = Kernel::default();
+        let mut b = Kernel::default();
+        let c =
+            ContainerRuntime::create(&mut p, &ContainerSpec::server("redis", 10, 6379)).unwrap();
+        let mut e = PlacementEngine::new(opts, p.costs.clone()).unwrap();
+        e.prepare(&mut p, &c).unwrap();
+        e.checkpoint(&mut p, &mut b, &c, 1).unwrap();
+        e.commit(&mut b, 1).unwrap();
+        e.log_fail_after_chunks = Some(1); // first chunk lands, rest lost
+        let ev = ReplayEvent::Step {
+            pid: c.init_pid(),
+            at: 1,
+            done: true,
+        };
+        e.ship_log(&mut p, 2, std::slice::from_ref(&ev)).unwrap();
+        e.ship_log(&mut p, 2, &[ev]).unwrap(); // lost in flight
+        e.seal_log(2).unwrap(); // seal lost too
+        let tail = e.take_replay_tail().unwrap();
+        assert!(tail.dropped_partial, "unsealed epoch-2 log is unusable");
+        assert!(tail.logs.is_empty());
     }
 }

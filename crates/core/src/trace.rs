@@ -331,6 +331,53 @@ pub enum TraceEvent {
         /// Quorum k required to ack (and to repair).
         need: u32,
     },
+    /// The epoch's nondeterminism-log chunks shipped to the backup (hybrid
+    /// replay extension; a *log-path* span — it participates in the log
+    /// reconciliation identity `LogShip == log_total`, see OBSERVABILITY.md).
+    /// Shipping overlaps execution; the duration is the summed commit
+    /// round-trips the released outputs waited on.
+    LogShip {
+        /// Events shipped this epoch.
+        events: u64,
+        /// Wire bytes those events carried.
+        bytes: u64,
+    },
+    /// The epoch's log sealed and committed on the backup — the new output
+    /// release point (hybrid replay extension; marker). From here the epoch's
+    /// buffered output is safe to release even though its checkpoint has not
+    /// acked yet.
+    LogCommit {
+        /// Events in the sealed epoch log.
+        events: u64,
+        /// One log-chunk commit round-trip (ns) — the client-visible release
+        /// wait that replaces the epoch ack.
+        commit_latency: Nanos,
+    },
+    /// Failover replay began: the backup restored the last committed
+    /// checkpoint and starts re-executing the sealed log tail (hybrid replay
+    /// extension; marker).
+    ReplayStart {
+        /// Sealed epoch logs in the tail.
+        epochs: u64,
+        /// Total events to re-execute.
+        events: u64,
+    },
+    /// Failover replay finished: re-executed state and output stream verified
+    /// byte-identical against the recorded hashes (hybrid replay extension;
+    /// marker).
+    ReplayComplete {
+        /// Events re-executed.
+        events: u64,
+        /// Virtual time the replay took (ns; added to the failover outage).
+        replay_time: Nanos,
+    },
+    /// Failover replay was abandoned — log gap, partial (unsealed) tail, or
+    /// a re-execution hash mismatch — and recovery fell back to the plain
+    /// NiLiCon last-checkpoint path (hybrid replay extension; marker).
+    ReplayDiverge {
+        /// Why: `"gap"`, `"partial"`, or `"mismatch"`.
+        reason: String,
+    },
 }
 
 impl TraceEvent {
@@ -371,6 +418,11 @@ impl TraceEvent {
             TraceEvent::RepairChunk { .. } => "RepairChunk",
             TraceEvent::RepairComplete { .. } => "RepairComplete",
             TraceEvent::DegradedMode { .. } => "DegradedMode",
+            TraceEvent::LogShip { .. } => "LogShip",
+            TraceEvent::LogCommit { .. } => "LogCommit",
+            TraceEvent::ReplayStart { .. } => "ReplayStart",
+            TraceEvent::ReplayComplete { .. } => "ReplayComplete",
+            TraceEvent::ReplayDiverge { .. } => "ReplayDiverge",
         }
     }
 
@@ -396,6 +448,11 @@ impl TraceEvent {
                 | TraceEvent::Ack
                 | TraceEvent::ChaosDelay { .. }
         )
+    }
+
+    /// Phase spans charged to the continuous log-ship path (hybrid replay).
+    pub fn is_log_phase(&self) -> bool {
+        matches!(self, TraceEvent::LogShip { .. })
     }
 }
 
@@ -575,6 +632,38 @@ impl serde::ser::Serialize for TraceEvent {
                     ("need".into(), u(*need as u64)),
                 ],
             ),
+            TraceEvent::LogShip { events, bytes } => tagged(
+                "LogShip",
+                vec![("events".into(), u(*events)), ("bytes".into(), u(*bytes))],
+            ),
+            TraceEvent::LogCommit {
+                events,
+                commit_latency,
+            } => tagged(
+                "LogCommit",
+                vec![
+                    ("events".into(), u(*events)),
+                    ("commit_latency".into(), u(*commit_latency)),
+                ],
+            ),
+            TraceEvent::ReplayStart { epochs, events } => tagged(
+                "ReplayStart",
+                vec![("epochs".into(), u(*epochs)), ("events".into(), u(*events))],
+            ),
+            TraceEvent::ReplayComplete {
+                events,
+                replay_time,
+            } => tagged(
+                "ReplayComplete",
+                vec![
+                    ("events".into(), u(*events)),
+                    ("replay_time".into(), u(*replay_time)),
+                ],
+            ),
+            TraceEvent::ReplayDiverge { reason } => tagged(
+                "ReplayDiverge",
+                vec![("reason".into(), Value::Str(reason.clone()))],
+            ),
         }
     }
 }
@@ -714,6 +803,25 @@ impl serde::de::Deserialize for TraceEvent {
                 alive: serde::de::field(fields, "alive")?,
                 need: serde::de::field(fields, "need")?,
             }),
+            "LogShip" => Ok(TraceEvent::LogShip {
+                events: f(fields, "events")?,
+                bytes: f(fields, "bytes")?,
+            }),
+            "LogCommit" => Ok(TraceEvent::LogCommit {
+                events: f(fields, "events")?,
+                commit_latency: f(fields, "commit_latency")?,
+            }),
+            "ReplayStart" => Ok(TraceEvent::ReplayStart {
+                epochs: f(fields, "epochs")?,
+                events: f(fields, "events")?,
+            }),
+            "ReplayComplete" => Ok(TraceEvent::ReplayComplete {
+                events: f(fields, "events")?,
+                replay_time: f(fields, "replay_time")?,
+            }),
+            "ReplayDiverge" => Ok(TraceEvent::ReplayDiverge {
+                reason: serde::de::field(fields, "reason")?,
+            }),
             other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
         }
     }
@@ -848,6 +956,8 @@ struct TracerInner {
     stop_sum: Nanos,
     /// Running sum of ack-path span durations this epoch.
     ack_sum: Nanos,
+    /// Running sum of log-ship span durations this epoch (hybrid replay).
+    log_sum: Nanos,
     /// Whether any phase span was emitted this epoch (uninstrumented engines
     /// emit none, and then reconciliation is vacuous).
     saw_phase: bool,
@@ -886,6 +996,7 @@ impl Tracer {
                 cursor: 0,
                 stop_sum: 0,
                 ack_sum: 0,
+                log_sum: 0,
                 saw_phase: false,
             }))),
         }
@@ -918,6 +1029,7 @@ impl Tracer {
             i.cursor = start;
             i.stop_sum = 0;
             i.ack_sum = 0;
+            i.log_sum = 0;
             i.saw_phase = false;
         }
     }
@@ -932,6 +1044,9 @@ impl Tracer {
                 i.saw_phase = true;
             } else if kind.is_ack_phase() {
                 i.ack_sum += dur;
+                i.saw_phase = true;
+            } else if kind.is_log_phase() {
+                i.log_sum += dur;
                 i.saw_phase = true;
             }
             let rec = TraceRecord {
@@ -978,28 +1093,44 @@ impl Tracer {
     /// `stop_time`/`ack_delay` (see the module docs for the exact identity)
     /// and reset the sums. Vacuously `Ok` if no phase spans were emitted.
     pub fn reconcile(&self, epoch: u64, stop_time: Nanos, ack_delay: Nanos) -> Result<(), String> {
+        self.reconcile_with_log(epoch, stop_time, ack_delay, 0)
+    }
+
+    /// [`Tracer::reconcile`] extended with the hybrid-replay axis: log-ship
+    /// spans must additionally sum to `log_total` (the engine-reported
+    /// cumulative log commit latency this epoch). Paper-path epochs pass 0.
+    pub fn reconcile_with_log(
+        &self,
+        epoch: u64,
+        stop_time: Nanos,
+        ack_delay: Nanos,
+        log_total: Nanos,
+    ) -> Result<(), String> {
         let Some(inner) = &self.inner else {
             return Ok(());
         };
         let mut i = inner.borrow_mut();
-        let (stop_sum, ack_sum, saw) = (i.stop_sum, i.ack_sum, i.saw_phase);
+        let (stop_sum, ack_sum, log_sum, saw) = (i.stop_sum, i.ack_sum, i.log_sum, i.saw_phase);
         i.stop_sum = 0;
         i.ack_sum = 0;
+        i.log_sum = 0;
         i.saw_phase = false;
         if !saw {
             return Ok(());
         }
-        let ok = if ack_delay > 0 {
-            stop_sum == stop_time && ack_sum == ack_delay
-        } else {
-            stop_sum + ack_sum == stop_time
-        };
+        let ok = log_sum == log_total
+            && if ack_delay > 0 {
+                stop_sum == stop_time && ack_sum == ack_delay
+            } else {
+                stop_sum + ack_sum == stop_time
+            };
         if ok {
             Ok(())
         } else {
             Err(format!(
                 "trace reconciliation failed for epoch {epoch}: stop spans {stop_sum}ns + ack \
-                 spans {ack_sum}ns vs stop_time {stop_time}ns / ack_delay {ack_delay}ns"
+                 spans {ack_sum}ns + log spans {log_sum}ns vs stop_time {stop_time}ns / \
+                 ack_delay {ack_delay}ns / log_total {log_total}ns"
             ))
         }
     }
@@ -1090,6 +1221,38 @@ mod tests {
         t.span(TraceEvent::BackupIngest { probes: 0 }, 3);
         t.span(TraceEvent::Ack, 2);
         t.reconcile(1, 35, 52).unwrap();
+    }
+
+    #[test]
+    fn log_ship_counts_toward_log_sum() {
+        let (t, _ring) = Tracer::in_memory(16);
+        t.begin_epoch(1, 0);
+        t.span(TraceEvent::Freeze, 10);
+        t.span(TraceEvent::Dump { dirty_pages: 1 }, 20);
+        t.span(TraceEvent::LocalCopy, 5);
+        t.span(
+            TraceEvent::LogShip {
+                events: 6,
+                bytes: 900,
+            },
+            68,
+        );
+        t.span(TraceEvent::Transfer { bytes: 4096 }, 7);
+        t.span(TraceEvent::BackupIngest { probes: 1 }, 3);
+        t.span(TraceEvent::Ack, 2);
+        t.reconcile_with_log(1, 35, 12, 68).unwrap();
+        // A missing log total is a reconciliation failure, not a silent pass.
+        t.begin_epoch(2, 0);
+        t.span(TraceEvent::Freeze, 35);
+        t.span(
+            TraceEvent::LogShip {
+                events: 1,
+                bytes: 50,
+            },
+            9,
+        );
+        let err = t.reconcile(2, 35, 0).unwrap_err();
+        assert!(err.contains("log spans 9ns"), "{err}");
     }
 
     #[test]
@@ -1224,6 +1387,25 @@ mod tests {
                 bytes: 33_554_432,
             },
             TraceEvent::DegradedMode { alive: 2, need: 2 },
+            TraceEvent::LogShip {
+                events: 42,
+                bytes: 13_456,
+            },
+            TraceEvent::LogCommit {
+                events: 42,
+                commit_latency: 68_000,
+            },
+            TraceEvent::ReplayStart {
+                epochs: 1,
+                events: 42,
+            },
+            TraceEvent::ReplayComplete {
+                events: 42,
+                replay_time: 900_000,
+            },
+            TraceEvent::ReplayDiverge {
+                reason: "partial".into(),
+            },
         ];
         for kind in variants {
             let rec = TraceRecord {

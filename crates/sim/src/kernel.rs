@@ -15,6 +15,7 @@ use crate::mem::{AddressSpace, MappedFile, Perms, TrackingMode, Vma, VmaKind, Wr
 use crate::net::{InputMode, NetStack, RepairState};
 use crate::ns::NsRegistry;
 use crate::proc::{freeze, thaw, FdEntry, FreezeReport, FreezeStrategy, Process};
+use crate::replay::{content_hash, ReplayEvent, ReplayRecorder};
 use crate::time::{CostMeter, Nanos};
 
 /// How VMA information is collected (§V-D deficiency (1)).
@@ -55,6 +56,9 @@ pub struct Kernel {
     pub namespaces: NsRegistry,
     /// ftrace hook registry.
     pub ftrace: FtraceHooks,
+    /// Nondeterminism recorder (hybrid checkpoint + replay). Dormant unless
+    /// the `hybrid_replay` extension knob enables it.
+    pub replay: ReplayRecorder,
     procs: std::collections::HashMap<Pid, Process>,
     spaces: std::collections::HashMap<AsId, AddressSpace>,
     stacks: std::collections::HashMap<NsId, NetStack>,
@@ -80,6 +84,7 @@ impl Kernel {
             cgroups: CgroupTree::new(),
             namespaces: NsRegistry::new(),
             ftrace: FtraceHooks::with_default_hooks(),
+            replay: ReplayRecorder::default(),
             procs: std::collections::HashMap::new(),
             spaces: std::collections::HashMap::new(),
             stacks: std::collections::HashMap::new(),
@@ -423,16 +428,70 @@ impl Kernel {
                 + self.costs.packet_process,
         );
         let (ns, sid) = self.sock_ref(pid, fd)?;
-        self.stack_mut(ns)?.send(sid, data)
+        let n = self.stack_mut(ns)?.send(sid, data)?;
+        if self.replay.active() {
+            self.charge(self.costs.log_append_per_event);
+            self.replay.record(ReplayEvent::SockSend {
+                pid,
+                fd,
+                len: n as u32,
+                hash: content_hash(&data[..n]),
+            });
+        }
+        Ok(n)
     }
 
-    /// recv(2) on a socket fd.
+    /// recv(2) on a socket fd. Under hybrid replay the returned payload, the
+    /// stack-wide delivery order, and the socket's stream offset are recorded
+    /// — the primary nondeterminism source the backup must reproduce.
     pub fn sock_recv(&mut self, pid: Pid, fd: Fd, max: usize) -> SimResult<Vec<u8>> {
         self.charge(self.costs.syscall_base);
         let (ns, sid) = self.sock_ref(pid, fd)?;
         let data = self.stack_mut(ns)?.recv(sid, max)?;
         self.charge(data.len() as u64 * self.costs.copy_per_byte);
+        if self.replay.active() && !data.is_empty() {
+            let order = self.stack(ns)?.delivered_seq();
+            let off = self.stack(ns)?.sock(sid)?.delivered_bytes - data.len() as u64;
+            self.charge(self.costs.log_append_per_event);
+            self.replay.record(ReplayEvent::SockRecv {
+                pid,
+                fd,
+                len: data.len() as u32,
+                hash: content_hash(&data),
+                order,
+                off,
+            });
+        }
         Ok(data)
+    }
+
+    /// A scheduling point: advance `pid`'s leader-thread scheduling sequence
+    /// and (under hybrid replay) record it, so replay reproduces the same
+    /// thread interleaving.
+    pub fn sched_point(&mut self, pid: Pid) -> SimResult<u64> {
+        let seq = self
+            .proc_mut(pid)?
+            .threads
+            .first_mut()
+            .map(|t| t.note_sched())
+            .unwrap_or(0);
+        if self.replay.active() {
+            self.charge(self.costs.log_append_per_event);
+            self.replay.record(ReplayEvent::Sched { pid, seq });
+        }
+        Ok(seq)
+    }
+
+    /// A guest clock read (gettimeofday flavor): charges the syscall and
+    /// (under hybrid replay) records the returned value so replay feeds the
+    /// identical timestamp back.
+    pub fn timer_read(&mut self, pid: Pid, now: Nanos) -> Nanos {
+        self.charge(self.costs.syscall_base);
+        if self.replay.active() {
+            self.charge(self.costs.log_append_per_event);
+            self.replay.record(ReplayEvent::TimerRead { pid, at: now });
+        }
+        now
     }
 
     fn sock_ref(&self, pid: Pid, fd: Fd) -> SimResult<(NsId, SockId)> {

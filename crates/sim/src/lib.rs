@@ -42,6 +42,7 @@ pub mod mem;
 pub mod net;
 pub mod ns;
 pub mod proc;
+pub mod replay;
 pub mod time;
 
 pub use costs::CostModel;

@@ -42,6 +42,9 @@ pub struct NetStack {
     out_ready: Vec<Packet>,
     broken_connections: u64,
     rsts_sent: u64,
+    /// Stack-wide count of non-empty application reads — the global delivery
+    /// order recorded per recv in the hybrid-replay log.
+    delivered_seq: u64,
 }
 
 impl NetStack {
@@ -61,6 +64,7 @@ impl NetStack {
             out_ready: Vec::new(),
             broken_connections: 0,
             rsts_sent: 0,
+            delivered_seq: 0,
         }
     }
 
@@ -158,7 +162,17 @@ impl NetStack {
 
     /// Application receive.
     pub fn recv(&mut self, sock: SockId, max: usize) -> SimResult<Vec<u8>> {
-        self.sock_mut(sock)?.recv(max)
+        let data = self.sock_mut(sock)?.recv(max)?;
+        if !data.is_empty() {
+            self.delivered_seq += 1;
+        }
+        Ok(data)
+    }
+
+    /// Stack-wide delivery sequence number (bumped once per non-empty
+    /// application read — the recv-order axis of the hybrid-replay log).
+    pub fn delivered_seq(&self) -> u64 {
+        self.delivered_seq
     }
 
     /// Peek the readable bytes without consuming (see [`TcpSocket::peek`]).

@@ -171,6 +171,9 @@ pub struct TcpSocket {
     /// True once this socket was restored via repair mode (for §V-E
     /// accounting and tests).
     pub restored: bool,
+    /// Cumulative bytes the application has read off this socket — the
+    /// stream offset recorded per recv in the hybrid-replay log.
+    pub delivered_bytes: u64,
 }
 
 impl TcpSocket {
@@ -190,6 +193,7 @@ impl TcpSocket {
             repair: false,
             rto: rto_default,
             restored: false,
+            delivered_bytes: 0,
         }
     }
 
@@ -221,6 +225,7 @@ impl TcpSocket {
             return Err(SimError::ConnReset);
         }
         let n = max.min(self.read_queue.len());
+        self.delivered_bytes += n as u64;
         Ok(self.read_queue.drain(..n).collect())
     }
 
@@ -240,6 +245,7 @@ impl TcpSocket {
     /// Consume `n` bytes previously observed via [`TcpSocket::peek`].
     pub fn consume(&mut self, n: usize) {
         let n = n.min(self.read_queue.len());
+        self.delivered_bytes += n as u64;
         self.read_queue.drain(..n);
     }
 

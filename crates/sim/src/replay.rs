@@ -1,0 +1,322 @@
+//! Record/replay of nondeterministic kernel events (HyCoR-style hybrid
+//! checkpoint + replay, PAPERS.md).
+//!
+//! NiLiCon releases output only after the *epoch* ack (~30 ms at the default
+//! epoch length). HyCoR — same authors, the direct successor — ships a
+//! per-epoch log of every nondeterministic event continuously and releases
+//! output as soon as the **log** is committed on the backup; at failover the
+//! backup restores the last committed checkpoint and re-executes the
+//! container, feeding recorded events back, reproducing byte-identical state
+//! and the exact output stream.
+//!
+//! This module owns the event vocabulary and the primary-side recorder. The
+//! sim kernel already owns every nondeterminism source, so the event set is
+//! closed over: socket receives (payload + delivery order + stream offset),
+//! socket sends (verified by hash during replay), timer reads, and thread
+//! scheduling points. The harness layers `Request`/`Step` events on top — it
+//! drives the application via `peek_recv`/`consume_recv` rather than
+//! `sock_recv`, so request arrival is *its* nondeterminism to record.
+//!
+//! Recording is off unless explicitly enabled (the `hybrid_replay` extension
+//! knob) and suppressed while a replay is in progress, so replayed execution
+//! never re-records its own events.
+
+use crate::ids::{Fd, Pid};
+use crate::time::Nanos;
+
+/// FNV-1a 64-bit. Stable, dependency-free content hash used to verify that
+/// replayed execution reproduces the recorded byte streams.
+pub fn content_hash(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// One recorded nondeterministic event.
+///
+/// Payload-carrying events (`Request`, `SockRecv`) store the actual bytes —
+/// replay must feed them back verbatim. Output-side events store only a hash:
+/// replay *re-produces* the bytes and the hash pins equivalence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayEvent {
+    /// A whole application request dispatched by the harness: the payload the
+    /// app saw, when it ran, and a digest of the response it produced.
+    Request {
+        /// Serving pid.
+        pid: Pid,
+        /// Virtual time the request was dispatched.
+        at: Nanos,
+        /// Request frame payload (what `Application::handle_request` saw).
+        payload: Vec<u8>,
+        /// [`content_hash`] of the response bytes.
+        response_hash: u64,
+        /// Response length in bytes.
+        response_len: u32,
+    },
+    /// One background `Application::step` call (batch workloads).
+    Step {
+        /// Stepped pid.
+        pid: Pid,
+        /// Virtual time of the step.
+        at: Nanos,
+        /// Whether the step reported completion.
+        done: bool,
+    },
+    /// `recv(2)` result: payload identity, global delivery order, and the
+    /// socket's cumulative stream offset before this read.
+    SockRecv {
+        /// Reading pid.
+        pid: Pid,
+        /// Socket fd.
+        fd: Fd,
+        /// Bytes returned.
+        len: u32,
+        /// [`content_hash`] of the returned bytes.
+        hash: u64,
+        /// Stack-wide delivery sequence number (order across sockets).
+        order: u64,
+        /// Cumulative bytes delivered on this socket *before* this read.
+        off: u64,
+    },
+    /// `send(2)` observed on the recorded timeline (hash only — replay
+    /// regenerates the bytes and must match).
+    SockSend {
+        /// Sending pid.
+        pid: Pid,
+        /// Socket fd.
+        fd: Fd,
+        /// Bytes sent.
+        len: u32,
+        /// [`content_hash`] of the sent bytes.
+        hash: u64,
+    },
+    /// A guest read of the virtual clock (gettimeofday flavor).
+    TimerRead {
+        /// Reading pid.
+        pid: Pid,
+        /// The value the clock returned.
+        at: Nanos,
+    },
+    /// A scheduling point: thread `seq` within `pid` advanced.
+    Sched {
+        /// Scheduled pid.
+        pid: Pid,
+        /// Per-thread scheduling sequence number after this point.
+        seq: u64,
+    },
+}
+
+impl ReplayEvent {
+    /// Short kind tag (trace/report labels).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ReplayEvent::Request { .. } => "request",
+            ReplayEvent::Step { .. } => "step",
+            ReplayEvent::SockRecv { .. } => "sock_recv",
+            ReplayEvent::SockSend { .. } => "sock_send",
+            ReplayEvent::TimerRead { .. } => "timer_read",
+            ReplayEvent::Sched { .. } => "sched",
+        }
+    }
+
+    /// Modeled wire size of this event in the shipped log: a fixed header
+    /// plus any carried payload. Drives log-ship transfer cost.
+    pub fn byte_len(&self) -> u64 {
+        const HDR: u64 = 24; // tag + pid + timestamps/ids, packed
+        match self {
+            ReplayEvent::Request { payload, .. } => HDR + 12 + payload.len() as u64,
+            ReplayEvent::Step { .. } => HDR + 1,
+            ReplayEvent::SockRecv { len, .. } => HDR + 20 + *len as u64,
+            ReplayEvent::SockSend { .. } => HDR + 12,
+            ReplayEvent::TimerRead { .. } => HDR + 8,
+            ReplayEvent::Sched { .. } => HDR + 8,
+        }
+    }
+}
+
+/// The per-epoch nondeterminism log, as shipped to (and stored on) the
+/// backup. `sealed` flips when the primary marks the epoch's log complete —
+/// only sealed logs are eligible for replay; an unsealed tail is a *partial*
+/// log and forces the plain last-checkpoint fallback.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplayLog {
+    /// Epoch this log belongs to (events recorded since the checkpoint of
+    /// `epoch - 1`).
+    pub epoch: u64,
+    /// Events in recorded order.
+    pub events: Vec<ReplayEvent>,
+    /// True once the primary sealed the epoch's log (all events shipped).
+    pub sealed: bool,
+}
+
+impl ReplayLog {
+    /// New empty (unsealed) log for `epoch`.
+    pub fn new(epoch: u64) -> Self {
+        ReplayLog {
+            epoch,
+            events: Vec::new(),
+            sealed: false,
+        }
+    }
+
+    /// Total modeled wire bytes of all events.
+    pub fn byte_len(&self) -> u64 {
+        self.events.iter().map(ReplayEvent::byte_len).sum()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Primary-side event recorder, owned by the kernel. Dormant (zero-cost
+/// no-ops) unless enabled; suppressed while `replaying` so re-execution on
+/// the backup does not re-record.
+#[derive(Debug, Default)]
+pub struct ReplayRecorder {
+    enabled: bool,
+    replaying: bool,
+    events: Vec<ReplayEvent>,
+}
+
+impl ReplayRecorder {
+    /// Turn recording on (the `hybrid_replay` knob).
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Is recording configured on?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Should events be captured *right now*? (enabled and not replaying)
+    pub fn active(&self) -> bool {
+        self.enabled && !self.replaying
+    }
+
+    /// Enter/leave replay mode (suppresses recording).
+    pub fn set_replaying(&mut self, on: bool) {
+        self.replaying = on;
+    }
+
+    /// Is a replay in progress?
+    pub fn is_replaying(&self) -> bool {
+        self.replaying
+    }
+
+    /// Append an event if capture is active.
+    pub fn record(&mut self, ev: ReplayEvent) {
+        if self.active() {
+            self.events.push(ev);
+        }
+    }
+
+    /// Take everything recorded since the last drain (epoch boundary).
+    pub fn drain(&mut self) -> Vec<ReplayEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_is_stable_and_content_sensitive() {
+        assert_eq!(content_hash(b"abc"), content_hash(b"abc"));
+        assert_ne!(content_hash(b"abc"), content_hash(b"abd"));
+        assert_ne!(content_hash(b""), content_hash(b"\0"));
+    }
+
+    #[test]
+    fn recorder_dormant_until_enabled() {
+        let mut r = ReplayRecorder::default();
+        r.record(ReplayEvent::TimerRead {
+            pid: Pid(100),
+            at: 5,
+        });
+        assert!(r.is_empty());
+        r.enable();
+        r.record(ReplayEvent::TimerRead {
+            pid: Pid(100),
+            at: 5,
+        });
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn replaying_suppresses_capture() {
+        let mut r = ReplayRecorder::default();
+        r.enable();
+        r.set_replaying(true);
+        assert!(!r.active());
+        r.record(ReplayEvent::Sched {
+            pid: Pid(100),
+            seq: 1,
+        });
+        assert!(r.is_empty());
+        r.set_replaying(false);
+        r.record(ReplayEvent::Sched {
+            pid: Pid(100),
+            seq: 1,
+        });
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn drain_resets_buffer() {
+        let mut r = ReplayRecorder::default();
+        r.enable();
+        r.record(ReplayEvent::Step {
+            pid: Pid(100),
+            at: 1,
+            done: false,
+        });
+        let evs = r.drain();
+        assert_eq!(evs.len(), 1);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn byte_len_counts_payloads() {
+        let small = ReplayEvent::Sched {
+            pid: Pid(100),
+            seq: 0,
+        };
+        let big = ReplayEvent::Request {
+            pid: Pid(100),
+            at: 0,
+            payload: vec![0u8; 1000],
+            response_hash: 0,
+            response_len: 4,
+        };
+        assert!(big.byte_len() > small.byte_len() + 1000 - 64);
+        let mut log = ReplayLog::new(3);
+        log.events.push(small);
+        log.events.push(big);
+        assert_eq!(
+            log.byte_len(),
+            log.events.iter().map(ReplayEvent::byte_len).sum::<u64>()
+        );
+    }
+}

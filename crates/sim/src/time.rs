@@ -30,6 +30,17 @@ pub const fn ms(v: u64) -> Nanos {
     v * MILLISECOND
 }
 
+/// Round `t` up to the next multiple of `interval` (0 interval → `t`).
+/// Used to batch continuous log-ship flushes onto interval boundaries.
+#[inline]
+pub const fn quantize_up(t: Nanos, interval: Nanos) -> Nanos {
+    if interval == 0 {
+        t
+    } else {
+        t.div_ceil(interval) * interval
+    }
+}
+
 /// Format a duration for human-readable reports (e.g. `7.4ms`, `43µs`).
 pub fn fmt_dur(n: Nanos) -> String {
     if n >= SECOND {
@@ -327,5 +338,14 @@ mod tests {
     fn unit_helpers() {
         assert_eq!(us(43), 43_000);
         assert_eq!(ms(30), 30_000_000);
+    }
+
+    #[test]
+    fn quantize_up_boundaries() {
+        assert_eq!(quantize_up(0, 100), 0);
+        assert_eq!(quantize_up(1, 100), 100);
+        assert_eq!(quantize_up(100, 100), 100);
+        assert_eq!(quantize_up(101, 100), 200);
+        assert_eq!(quantize_up(42, 0), 42);
     }
 }
