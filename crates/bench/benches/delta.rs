@@ -10,25 +10,26 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use nilicon_criu::delta::{DeltaStats, ShadowStore};
 use nilicon_criu::{PageKey, PageStore, RadixTreeStore};
 use nilicon_sim::ids::Pid;
-use nilicon_sim::PAGE_SIZE;
+use nilicon_sim::{PageBuf, PAGE_SIZE};
 use std::hint::black_box;
+use std::rc::Rc;
 
 fn key(vpn: u64) -> PageKey {
     PageKey { pid: Pid(1), vpn }
 }
 
 /// A page with `edits` scattered single-byte writes.
-fn page_edits(n: usize, seed: u8) -> Box<[u8; PAGE_SIZE]> {
-    let mut p = Box::new([0u8; PAGE_SIZE]);
+fn page_edits(n: usize, seed: u8) -> PageBuf {
+    let mut p = [0u8; PAGE_SIZE];
     for i in 0..n {
         p[(i * 97 + 13) % PAGE_SIZE] = seed.wrapping_add(i as u8) | 1;
     }
-    p
+    Rc::new(p)
 }
 
 fn bench_encode_classes(c: &mut Criterion) {
     let mut group = c.benchmark_group("delta_encode");
-    let zero = Box::new([0u8; PAGE_SIZE]);
+    let zero: PageBuf = Rc::new([0u8; PAGE_SIZE]);
     let sparse = page_edits(4, 3);
     let dense = page_edits(PAGE_SIZE, 7);
 
@@ -62,7 +63,7 @@ fn bench_apply(c: &mut Criterion) {
     let sparse_enc = shadow.encode(key(1), &page_edits(4, 9), &mut stats);
 
     group.bench_function("sparse_delta_to_page", |b| {
-        b.iter(|| black_box(sparse_enc.apply(Some(&base))));
+        b.iter(|| black_box(sparse_enc.apply(Some(base.as_ref()))));
     });
     group.bench_function("store_apply_delta", |b| {
         let mut store = RadixTreeStore::new();

@@ -12,8 +12,8 @@ use nilicon_sim::ids::Pid;
 use nilicon_sim::PAGE_SIZE;
 use std::hint::black_box;
 
-fn page(tag: u8) -> Box<[u8; PAGE_SIZE]> {
-    Box::new([tag; PAGE_SIZE])
+fn page(tag: u8) -> nilicon_sim::PageBuf {
+    std::rc::Rc::new([tag; PAGE_SIZE])
 }
 
 /// Build a store with `history` prior incremental checkpoints of `pages`

@@ -13,10 +13,7 @@ use nilicon_sim::CostModel;
 use nilicon_workloads::Scale;
 
 fn main() {
-    let epochs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(60);
+    let epochs: u64 = nilicon_bench::cli::positional_u64(1, 60);
     let scale = Scale::bench();
     let redis = || nilicon_workloads::redis(scale, 8, None);
 

@@ -6,10 +6,7 @@ use nilicon_bench::{fmt_mib, fmt_ms, run_comparisons, Table};
 use nilicon_workloads::Scale;
 
 fn main() {
-    let epochs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(120);
+    let epochs: u64 = nilicon_bench::cli::positional_u64(1, 120);
     let comparisons = run_comparisons(Scale::bench(), epochs);
 
     // ---------------- Fig. 3 ----------------

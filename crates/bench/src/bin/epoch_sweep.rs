@@ -14,7 +14,7 @@ use nilicon_sim::CostModel;
 use nilicon_workloads::Scale;
 
 fn main() {
-    let virtual_secs: u64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(3);
+    let virtual_secs: u64 = nilicon_bench::cli::positional_u64(1, 3);
     let scale = Scale::bench();
 
     // Stock throughput baseline (epoch length irrelevant unreplicated).

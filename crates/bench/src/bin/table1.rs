@@ -24,10 +24,7 @@ fn continuous_streamcluster(scale: Scale) -> Workload {
 }
 
 fn main() {
-    let epochs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(300);
+    let epochs: u64 = nilicon_bench::cli::positional_u64(1, 300);
     let scale = Scale::bench();
 
     let paper = [1940.0, 619.0, 84.0, 65.0, 53.0, 37.0, 31.0];

@@ -16,10 +16,7 @@ pub const PAPER_TABLE3: [(&str, f64, f64, f64, f64); 7] = [
 ];
 
 fn main() {
-    let epochs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(120);
+    let epochs: u64 = nilicon_bench::cli::positional_u64(1, 120);
     let comparisons = run_comparisons(Scale::bench(), epochs);
 
     let mut t = Table::new(

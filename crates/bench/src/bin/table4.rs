@@ -15,10 +15,7 @@ pub const PAPER_TABLE4: [(&str, [f64; 3], [&str; 3]); 7] = [
 ];
 
 fn main() {
-    let epochs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(120);
+    let epochs: u64 = nilicon_bench::cli::positional_u64(1, 120);
     let comparisons = run_comparisons(Scale::bench(), epochs);
 
     let mut t = Table::new(

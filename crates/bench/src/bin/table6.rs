@@ -44,10 +44,7 @@ fn single_client_workloads(
 }
 
 fn main() {
-    let epochs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(400);
+    let epochs: u64 = nilicon_bench::cli::positional_u64(1, 400);
     let scale = Scale::bench();
 
     let mut t = Table::new(

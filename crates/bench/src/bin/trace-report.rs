@@ -25,6 +25,7 @@ const PHASES: &[&str] = &[
     "Dump",
     "DeltaEncode",
     "LocalCopy",
+    "Backpressure",
     "CowCopy",
     "ShardCommit",
     "Transfer",
@@ -83,6 +84,11 @@ struct Section {
     replay_completes: u64,
     replay_time: Nanos,
     replay_diverge_reasons: Vec<String>,
+    stage_chunks: u64,
+    stage_waits: Vec<Nanos>,
+    stage_restarts: BTreeMap<String, u64>,
+    backpressure_stalls: Vec<Nanos>,
+    exec_durs: Vec<Nanos>,
     failovers: Vec<TraceEvent>,
 }
 
@@ -111,10 +117,18 @@ impl Section {
                 | TraceEvent::BackupIngest { .. }
                 | TraceEvent::Ack
                 | TraceEvent::LogShip { .. }
+                | TraceEvent::Backpressure { .. }
         ) {
             self.spans.entry(kind.name()).or_default().push(rec.dur);
         }
         match kind {
+            TraceEvent::Exec { .. } => self.exec_durs.push(rec.dur),
+            TraceEvent::StageEnqueue { .. } => self.stage_chunks += 1,
+            TraceEvent::StageDequeue { wait, .. } => self.stage_waits.push(wait),
+            TraceEvent::StageRestart { stage, .. } => {
+                *self.stage_restarts.entry(stage).or_default() += 1;
+            }
+            TraceEvent::Backpressure { stalled } => self.backpressure_stalls.push(stalled),
             TraceEvent::Dump { dirty_pages } => self.dirty_pages += dirty_pages,
             TraceEvent::DeltaEncode {
                 zero_pages,
@@ -251,7 +265,12 @@ impl Section {
             }
             let stop: f64 = overhead
                 .iter()
-                .filter(|(p, _)| matches!(*p, "Freeze" | "Dump" | "DeltaEncode" | "LocalCopy"))
+                .filter(|(p, _)| {
+                    matches!(
+                        *p,
+                        "Freeze" | "Dump" | "DeltaEncode" | "LocalCopy" | "Backpressure"
+                    )
+                })
                 .map(|(_, v)| v)
                 .sum();
             println!(
@@ -260,6 +279,54 @@ impl Section {
                 fmt_ns((total - stop) as Nanos),
                 fmt_ns(total as Nanos)
             );
+
+            // Overlap-aware critical-path attribution (EXTENSION,
+            // `--pipeline`): the ack path runs concurrently with the next
+            // execution phase, so only the part the exec window cannot
+            // absorb lands on the epoch's critical path — and it lands
+            // there as the *next* epoch's `Backpressure` stall. Naive
+            // stop+ack summation double-counts the hidden portion; this
+            // section reports what actually extends wall time.
+            if self.stage_chunks > 0 || !self.backpressure_stalls.is_empty() {
+                let ack = total - stop;
+                let exec = self.exec_durs.iter().sum::<Nanos>() as f64
+                    / self.exec_durs.len().max(1) as f64;
+                let hidden = ack.min(exec);
+                let bp = self.backpressure_stalls.iter().sum::<Nanos>() as f64 / n_epochs;
+                println!("pipeline overlap (critical path, per epoch):");
+                println!(
+                    "  ack path {} overlaps a {} exec window: {} hidden, {} exposed as backpressure",
+                    fmt_ns(ack as Nanos),
+                    fmt_ns(exec as Nanos),
+                    fmt_ns(hidden as Nanos),
+                    fmt_ns(bp as Nanos),
+                );
+                println!(
+                    "  critical path = exec {} + stop {} per epoch (the exposed ack \
+                     is the backpressure already folded into stop; the hidden ack \
+                     adds nothing)",
+                    fmt_ns(exec as Nanos),
+                    fmt_ns(stop as Nanos),
+                );
+                if !self.stage_waits.is_empty() {
+                    let mean = self.stage_waits.iter().sum::<Nanos>() as f64
+                        / self.stage_waits.len() as f64;
+                    println!(
+                        "  stage queue: {} chunks through the bounded channel; \
+                         encode-side wait-for-slot p50 {} / p99 {} / mean {}",
+                        self.stage_chunks,
+                        fmt_ns(percentile(self.stage_waits.clone(), 50.0)),
+                        fmt_ns(percentile(self.stage_waits.clone(), 99.0)),
+                        fmt_ns(mean as Nanos),
+                    );
+                }
+                for (stage, n) in &self.stage_restarts {
+                    println!(
+                        "  stage restarts: {n} in `{stage}` — in-flight chunk \
+                         replayed from the peek-before-commit queue"
+                    );
+                }
+            }
         }
 
         println!(

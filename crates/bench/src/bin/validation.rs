@@ -67,14 +67,8 @@ fn builders(scale: Scale) -> Vec<(&'static str, nilicon_bench::comparison::Workl
 }
 
 fn main() {
-    let runs: u64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(10);
-    let epochs: u64 = std::env::args()
-        .nth(2)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(40);
+    let runs: u64 = nilicon_bench::cli::positional_u64(1, 10);
+    let epochs: u64 = nilicon_bench::cli::positional_u64(2, 40);
     // Small scale keeps 50-run campaigns tractable; consistency checking is
     // scale-independent.
     let scale = Scale::small();

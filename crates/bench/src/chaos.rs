@@ -174,6 +174,14 @@ pub struct Scenario {
     /// Run with the hybrid checkpoint + replay extension (`--replay`):
     /// output releases at log commit and a failover replays the sealed tail.
     pub replay: bool,
+    /// Run with the staged pipeline (`--pipeline`): dump-drain, encode,
+    /// transfer, and ingest overlap the next execution phase behind bounded
+    /// peek-before-commit channels.
+    pub pipeline: bool,
+    /// Crash the pipeline's ingest stage at the first checkpoint at or
+    /// after this time (chunk 0 of that transfer): the restarted stage
+    /// replays the chunk from the channel's uncommitted slot.
+    pub stage_fail: Option<Nanos>,
     /// Expected outcome per the failure-mode catalog.
     pub expect: Outcome,
 }
@@ -190,6 +198,8 @@ impl Default for Scenario {
             placement: None,
             chunk_pages: None,
             replay: false,
+            pipeline: false,
+            stage_fail: None,
             expect: Outcome::Recovered,
         }
     }
@@ -350,9 +360,42 @@ pub fn scenarios(shift: Nanos) -> Vec<Scenario> {
         // byte-identical (DESIGN.md §11 divergence rule covers the rest).
         Scenario {
             name: "replay-fault-mid-replay",
-            schedule: none,
+            schedule: none.clone(),
             primary_fault: Some(s(415 * MS)),
             replay: true,
+            ..Default::default()
+        },
+        // ---- staged-pipeline scenarios (`--pipeline`) ------------------
+        // A pipeline ingest stage crashes mid-epoch while the link is
+        // partitioned: the bounded channel's peek-before-commit slot holds
+        // the in-flight chunk across the restart, so the replayed chunk
+        // lands exactly once; the partition stalls commits until heal, and
+        // nothing releases against an uncommitted epoch.
+        Scenario {
+            name: "pipeline-stage-crash-partition",
+            schedule: none
+                .clone()
+                .window(s(400 * MS), s(460 * MS), FaultKind::Partition),
+            pipeline: true,
+            stage_fail: Some(s(415 * MS)),
+            ..Default::default()
+        },
+        // The primary dies while the pipeline is backpressured (a delay
+        // spike stretches the ack round-trip past one epoch of overlap
+        // budget, so checkpoints carry a `Backpressure` stall): the
+        // in-flight backlog dies with the primary's staging buffer, and the
+        // failover falls back to the last *committed* epoch — recovered,
+        // byte-identical, because output never released against the
+        // uncommitted tail.
+        Scenario {
+            name: "pipeline-backpressure-failover",
+            schedule: none.window(
+                s(380 * MS),
+                s(700 * MS),
+                FaultKind::DelaySpike { extra: 80 * MS },
+            ),
+            pipeline: true,
+            primary_fault: Some(s(445 * MS)),
             ..Default::default()
         },
     ]
@@ -383,6 +426,7 @@ fn chaos_mode(sc: &Scenario) -> RunMode {
     let mut opts = OptimizationConfig::nilicon();
     opts.rearm = sc.rearm;
     opts.hybrid_replay = sc.replay;
+    opts.pipeline = sc.pipeline;
     match sc.placement {
         Some((k, n)) => {
             opts.quorum = k;
@@ -421,6 +465,9 @@ fn arm(h: &mut RunHarness, sc: &Scenario) -> Result<(), String> {
     }
     if let Some(t) = sc.backup_fault2 {
         h.inject_backup_fault_at(t);
+    }
+    if let Some(t) = sc.stage_fail {
+        h.inject_stage_fail_at(t, 0);
     }
     Ok(())
 }
@@ -612,6 +659,8 @@ mod tests {
             "backup-loss-mid-epoch",
             "backup-loss-mid-repair",
             "backup-loss-in-partition",
+            "pipeline-stage-crash-partition",
+            "pipeline-backpressure-failover",
         ] {
             assert!(
                 cat.iter().any(|s| s.name.contains(needle)),

@@ -23,10 +23,12 @@
 //! soft-dirty scan, checkpoint image sizing, and the plug qdisc.
 
 pub mod chaos;
+pub mod cli;
 pub mod comparison;
 pub mod report;
 pub mod runner;
 
+pub use cli::{apply_cli_extensions, cli_tracer, positional_u64};
 pub use comparison::{fig3_workloads, run_comparisons, Comparison};
 pub use report::{fmt_mib, fmt_ms, Row, Table};
 pub use runner::{

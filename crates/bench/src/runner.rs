@@ -1,8 +1,9 @@
 //! Shared run-and-summarize machinery for the table binaries.
 
+pub use crate::cli::{apply_cli_extensions, cli_tracer};
 use nilicon::harness::{RunHarness, RunMode};
 use nilicon::metrics::{percentile, RunMetrics};
-use nilicon::trace::{TraceEvent, Tracer};
+use nilicon::trace::TraceEvent;
 use nilicon::{NiLiConEngine, OptimizationConfig, PlacementEngine, ReplicationConfig};
 use nilicon_mc::McEngine;
 use nilicon_sim::time::Nanos;
@@ -34,85 +35,9 @@ pub fn nilicon_mode(opts: OptimizationConfig) -> RunMode {
     RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())))
 }
 
-/// Overlay EXTENSION flags onto a paper-faithful optimization row:
-/// `--delta` enables delta-encoded checkpoint transfer, `--dump-workers N`
-/// shards the per-process dump loop, `--cow` switches to copy-on-write
-/// checkpointing (dirty pages are write-protected at pause and copied out in
-/// the background — the stop phase shrinks, the copy moves to the ack path),
-/// `--rearm` re-establishes redundancy after a failover by bootstrapping
-/// a replacement backup (the run then survives a second primary fault), and
-/// `--backups N`/`--quorum K` replace the single warm backup with a k-of-n
-/// erasure-coded placement (epochs ack on the quorum; a lost replica is
-/// regenerated by coded repair while the primary keeps serving), and
-/// `--replay` enables HyCoR-style hybrid checkpoint + replay (outputs
-/// release when their nondeterminism-log chunk commits on the backup
-/// instead of waiting for the epoch ack; failover replays the sealed tail).
-/// With no flags present the row is returned untouched, so every table
-/// binary stays paper-faithful by default but can demo the extensions
-/// (visible in `trace-report`'s DeltaEncode/CowCopy phases and summary
-/// lines).
-pub fn apply_cli_extensions(
-    mut opts: OptimizationConfig,
-    mut args: impl Iterator<Item = String>,
-) -> OptimizationConfig {
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--delta" => opts.delta_transfer = true,
-            "--cow" => opts.cow_checkpoint = true,
-            "--rearm" => opts.rearm = true,
-            "--replay" => opts.hybrid_replay = true,
-            "--dump-workers" => {
-                opts.dump_workers = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--dump-workers requires a worker count");
-            }
-            "--backups" => {
-                opts.backups = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--backups requires a replica count");
-            }
-            "--quorum" => {
-                opts.quorum = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--quorum requires a replica count");
-            }
-            _ => {}
-        }
-    }
-    opts
-}
-
 /// The MC baseline run mode.
 pub fn mc_mode() -> RunMode {
     RunMode::Replicated(Box::new(McEngine::new(CostModel::default())))
-}
-
-thread_local! {
-    static CLI_TRACER: std::cell::OnceCell<Tracer> = const { std::cell::OnceCell::new() };
-}
-
-/// The process-wide tracer selected by a `--trace <path>` CLI flag
-/// (disabled when the flag is absent), shared by every run the binary
-/// performs. Each run opens with a [`TraceEvent::RunStart`] marker so
-/// `trace-report` can attribute records to runs; see `OBSERVABILITY.md`.
-pub fn cli_tracer() -> Tracer {
-    CLI_TRACER.with(|c| {
-        c.get_or_init(|| {
-            let mut args = std::env::args();
-            while let Some(a) = args.next() {
-                if a == "--trace" {
-                    let path = args.next().expect("--trace requires a path");
-                    return Tracer::to_file(&path)
-                        .unwrap_or_else(|e| panic!("cannot create trace file {path}: {e}"));
-                }
-            }
-            Tracer::disabled()
-        })
-        .clone()
-    })
 }
 
 /// Post-warmup aggregate of one run.
@@ -324,37 +249,5 @@ mod tests {
     fn modes_construct() {
         let _ = nilicon_mode(nilicon::OptimizationConfig::nilicon());
         let _ = mc_mode();
-    }
-
-    #[test]
-    fn cli_extensions_overlay_flags() {
-        let base = nilicon::OptimizationConfig::nilicon();
-        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
-
-        let untouched = apply_cli_extensions(base, args(&["table1", "30"]).into_iter());
-        assert_eq!(untouched, base, "no flags -> paper-faithful row");
-
-        let extended = apply_cli_extensions(
-            base,
-            args(&["table1", "--delta", "--dump-workers", "4", "--cow", "--rearm"]).into_iter(),
-        );
-        assert!(extended.delta_transfer);
-        assert_eq!(extended.dump_workers, 4);
-        assert!(extended.cow_checkpoint);
-        assert!(extended.rearm);
-
-        let replayed = apply_cli_extensions(base, args(&["table6", "--replay"]).into_iter());
-        assert!(replayed.hybrid_replay);
-
-        let placed = apply_cli_extensions(
-            base,
-            args(&["table1", "--backups", "3", "--quorum", "2"]).into_iter(),
-        );
-        assert_eq!(placed.backups, 3);
-        assert_eq!(placed.quorum, 2);
-        use nilicon::Checkpointer;
-        let engine = PlacementEngine::new(placed, CostModel::default()).unwrap();
-        assert_eq!(engine.placement(), (2, 3));
-        assert!(engine.supports_placement());
     }
 }

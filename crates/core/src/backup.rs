@@ -18,7 +18,7 @@ use nilicon_sim::costs::CostModel;
 use nilicon_sim::fs::{FsCacheCheckpoint, Inode};
 use nilicon_sim::ids::Ino;
 use nilicon_sim::time::Nanos;
-use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+use nilicon_sim::{PageBuf, SimError, SimResult, PAGE_SIZE};
 use std::collections::{BTreeMap, HashMap};
 
 /// Merged committed file-cache page: contents + writeback-dirty flag.
@@ -157,7 +157,7 @@ impl BackupAgent {
     pub fn ingest_chunk(
         &mut self,
         epoch: u64,
-        pages: Vec<(Pid, u64, Box<[u8; PAGE_SIZE]>)>,
+        pages: Vec<(Pid, u64, PageBuf)>,
         deltas: Vec<(Pid, u64, PageEncoding)>,
     ) -> SimResult<Nanos> {
         let asm = match &mut self.assembling {
@@ -307,7 +307,7 @@ impl BackupAgent {
             .store
             .iter_sorted()
             .into_iter()
-            .map(|(k, p)| (k.pid, k.vpn, Box::new(*p)))
+            .map(|(k, p)| (k.pid, k.vpn, p.clone()))
             .collect();
         // Merged fs state.
         let mut fs = FsCacheCheckpoint::default();
@@ -362,7 +362,7 @@ mod tests {
             ..Default::default()
         };
         for &(pid, vpn, tag) in pages {
-            i.pages.push((Pid(pid), vpn, Box::new([tag; PAGE_SIZE])));
+            i.pages.push((Pid(pid), vpn, std::rc::Rc::new([tag; PAGE_SIZE])));
         }
         i
     }
@@ -461,12 +461,12 @@ mod tests {
         let mut shadow = ShadowStore::new();
         for e in 1..=5u64 {
             // Page contents evolve: one sparse edit per epoch, one zero page.
-            let mut p = Box::new([0u8; PAGE_SIZE]);
+            let mut p = [0u8; PAGE_SIZE];
             p[7] = e as u8;
             p[3000] = 255 - e as u8;
             let mut i = img(e, &[]);
-            i.pages.push((Pid(1), 0x10, p));
-            i.pages.push((Pid(1), 0x11, Box::new([0u8; PAGE_SIZE])));
+            i.pages.push((Pid(1), 0x10, std::rc::Rc::new(p)));
+            i.pages.push((Pid(1), 0x11, nilicon_sim::zero_page()));
             let mut di = i.clone();
             di.encode_pages(&mut shadow);
             assert!(
@@ -499,9 +499,9 @@ mod tests {
             !a.epoch_complete(1),
             "metadata + barrier alone must not ack a COW epoch"
         );
-        a.ingest_chunk(1, vec![(Pid(1), 0x10, Box::new([1u8; PAGE_SIZE]))], vec![])
+        a.ingest_chunk(1, vec![(Pid(1), 0x10, std::rc::Rc::new([1u8; PAGE_SIZE]))], vec![])
             .unwrap();
-        a.ingest_chunk(1, vec![(Pid(1), 0x11, Box::new([2u8; PAGE_SIZE]))], vec![])
+        a.ingest_chunk(1, vec![(Pid(1), 0x11, std::rc::Rc::new([2u8; PAGE_SIZE]))], vec![])
             .unwrap();
         assert!(
             a.finish_assembly(1).is_err(),
@@ -509,7 +509,7 @@ mod tests {
         );
         // The failed finish consumed the assembly; rebuild and complete it.
         a.begin_assembly(img(1, &[]), 1);
-        a.ingest_chunk(1, vec![(Pid(1), 0x10, Box::new([1u8; PAGE_SIZE]))], vec![])
+        a.ingest_chunk(1, vec![(Pid(1), 0x10, std::rc::Rc::new([1u8; PAGE_SIZE]))], vec![])
             .unwrap();
         a.finish_assembly(1).unwrap();
         assert!(a.epoch_complete(1));
@@ -521,7 +521,7 @@ mod tests {
     fn cow_chunk_without_assembly_is_rejected() {
         let mut a = agent();
         assert!(a
-            .ingest_chunk(1, vec![(Pid(1), 0x10, Box::new([0u8; PAGE_SIZE]))], vec![])
+            .ingest_chunk(1, vec![(Pid(1), 0x10, std::rc::Rc::new([0u8; PAGE_SIZE]))], vec![])
             .is_err());
         a.begin_assembly(img(2, &[]), 1);
         assert!(a.ingest_chunk(1, vec![], vec![]).is_err(), "epoch mismatch");
@@ -537,7 +537,7 @@ mod tests {
         a.commit(1, &mut disk).unwrap();
         // Epoch 2 streams in COW chunks; the primary dies mid-copy.
         a.begin_assembly(img(2, &[]), 2);
-        a.ingest_chunk(2, vec![(Pid(1), 0x10, Box::new([99u8; PAGE_SIZE]))], vec![])
+        a.ingest_chunk(2, vec![(Pid(1), 0x10, std::rc::Rc::new([99u8; PAGE_SIZE]))], vec![])
             .unwrap();
         let dropped = a.discard_uncommitted();
         assert_eq!(
@@ -562,7 +562,7 @@ mod tests {
         a.ingest(img(1, &[(1, 0x10, 1)]));
         a.begin_assembly(img(2, &[]), 5);
         for vpn in [0x20u64, 0x21, 0x22] {
-            a.ingest_chunk(2, vec![(Pid(1), vpn, Box::new([9u8; PAGE_SIZE]))], vec![])
+            a.ingest_chunk(2, vec![(Pid(1), vpn, std::rc::Rc::new([9u8; PAGE_SIZE]))], vec![])
                 .unwrap();
         }
         let w = nilicon_sim::block::DiskWrite {

@@ -87,6 +87,18 @@ pub struct OptimizationConfig {
     /// stream; a log gap or partial tail falls back to the plain NiLiCon
     /// last-checkpoint path. Off in every paper reproduction run.
     pub hybrid_replay: bool,
+    /// EXTENSION (§VIII concurrency): staged checkpoint pipeline — the
+    /// dump-drain, delta-encode, transfer, and backup-ingest stages run as a
+    /// bounded-queue pipeline overlapped with the next execution phase
+    /// instead of the synchronous dump→encode→ship→ingest sequence. Chunks
+    /// hand off peek-before-commit: a stage removes its input only after the
+    /// downstream stage durably accepted it, so a crashed-and-restarted stage
+    /// replays its in-flight chunk without loss or duplication, and the
+    /// committed image stays byte-identical to the synchronous path. When the
+    /// pipeline cannot drain an epoch before the next checkpoint, the backlog
+    /// stalls the next stop phase (backpressure), degrading toward the
+    /// paper's synchronous behavior. Off in every paper reproduction run.
+    pub pipeline: bool,
 }
 
 impl OptimizationConfig {
@@ -108,6 +120,7 @@ impl OptimizationConfig {
             backups: 1,
             quorum: 1,
             hybrid_replay: false,
+            pipeline: false,
         }
     }
 
@@ -129,6 +142,7 @@ impl OptimizationConfig {
             backups: 1,
             quorum: 1,
             hybrid_replay: false,
+            pipeline: false,
         }
     }
 
@@ -289,6 +303,7 @@ mod tests {
             assert_eq!(cfg.backups, 1, "paper rows: single warm backup");
             assert_eq!(cfg.quorum, 1);
             assert!(!cfg.hybrid_replay, "paper rows: release waits for epoch ack");
+            assert!(!cfg.pipeline, "paper rows: synchronous checkpoint path");
             assert!(!cfg.dump_config().cow);
         }
         // The COW knob flows through to the CRIU dump config.

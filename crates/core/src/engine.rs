@@ -178,6 +178,21 @@ pub trait Checkpointer {
     /// writes and image state. Returns backup CPU consumed by the commit.
     fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos>;
 
+    /// Staged-pipeline engines only ([`pipeline`]: the harness grants the
+    /// engine's background stages `elapsed` nanoseconds of overlap (one
+    /// execution phase) so the pipeline can drain its backlog. Engines
+    /// without a pipeline ignore it.
+    ///
+    /// [`pipeline`]: crate::OptimizationConfig::pipeline
+    fn pipeline_advance(&mut self, _elapsed: Nanos) {}
+
+    /// Chaos hook: arm a one-shot pipeline-stage crash. The next checkpoint
+    /// whose staged transfer reaches `chunk` loses that stage mid-chunk; the
+    /// peek-before-commit channel holds the chunk until the stage's commit,
+    /// so the restarted stage replays it exactly once (`StageRestart` in the
+    /// trace). Engines without staged transfer ignore the hook.
+    fn inject_stage_fail(&mut self, _chunk: u64) {}
+
     /// The primary failed: restore on `backup` from the last committed
     /// state. Returns the restored container and the latency breakdown.
     fn failover(&mut self, backup: &mut Kernel) -> SimResult<(RestoredContainer, FailoverReport)>;

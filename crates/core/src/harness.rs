@@ -218,6 +218,7 @@ pub struct RunHarness {
     faults: VecDeque<Nanos>,
     /// Pending backup-host faults, in firing order.
     backup_faults: VecDeque<Nanos>,
+    stage_fails: VecDeque<(Nanos, u64)>,
     failover_report: Option<FailoverReport>,
     detection_latency: Option<Nanos>,
     on_backup: bool,
@@ -356,6 +357,7 @@ impl RunHarness {
             detector: FailureDetector::new(interval, misses, 0),
             faults: VecDeque::new(),
             backup_faults: VecDeque::new(),
+            stage_fails: VecDeque::new(),
             failover_report: None,
             detection_latency: None,
             on_backup: false,
@@ -491,6 +493,20 @@ impl RunHarness {
             .position(|&f| f > t)
             .unwrap_or(self.backup_faults.len());
         self.backup_faults.insert(pos, t);
+    }
+
+    /// Schedule a one-shot pipeline-stage crash: at the first checkpoint at
+    /// or after virtual time `t`, the engine's staged transfer loses its
+    /// ingest stage when it reaches `chunk` (replayed from the bounded
+    /// channel's peek-before-commit slot — see `DESIGN.md` §12). A no-op
+    /// for engines without staged transfer.
+    pub fn inject_stage_fail_at(&mut self, t: Nanos, chunk: u64) {
+        let pos = self
+            .stage_fails
+            .iter()
+            .position(|&(f, _)| f > t)
+            .unwrap_or(self.stage_fails.len());
+        self.stage_fails.insert(pos, (t, chunk));
     }
 
     fn active_host(&self) -> HostId {
@@ -1102,6 +1118,19 @@ impl RunHarness {
                 let RunMode::Replicated(engine) = &mut self.mode else {
                     unreachable!()
                 };
+                // The execution phase that just ended is overlap time for the
+                // engine's background pipeline stages (staged-pipeline
+                // extension; a no-op for synchronous engines). Whatever
+                // backlog remains surfaces as backpressure in the checkpoint.
+                engine.pipeline_advance(self.cfg.epoch_exec);
+                while self
+                    .stage_fails
+                    .front()
+                    .is_some_and(|&(t, _)| t <= self.cluster.clock.now())
+                {
+                    let (_, chunk) = self.stage_fails.pop_front().expect("front checked");
+                    engine.inject_stage_fail(chunk);
+                }
                 let (pk, bk) = self.cluster.two_hosts_mut(self.primary, self.backup);
                 engine.checkpoint(pk, bk, &self.container, epoch)?
             };

@@ -61,6 +61,17 @@ pub struct NiLiConEngine {
     pub log_fail_after_chunks: Option<u64>,
     /// Log chunks shipped so far (drives `log_fail_after_chunks`).
     log_chunks_shipped: u64,
+    /// Staged-pipeline extension: ack-path work of the previous epoch's
+    /// pipeline not yet overlapped by execution time. `pipeline_advance`
+    /// drains it once per epoch; whatever remains at the next checkpoint
+    /// stalls the stop phase (backpressure).
+    pipe_backlog: Nanos,
+    /// Test-only fault injection (staged pipeline): the backup-ingest stage
+    /// crashes once, right after receiving this zero-based chunk index. The
+    /// supervisor restarts the stage and the chunk replays from the upstream
+    /// queue (peek-before-commit): its receive CPU is charged twice, but the
+    /// assembly is mutated exactly once — no lost or duplicated chunk.
+    pub stage_fail_at_chunk: Option<u64>,
 }
 
 impl std::fmt::Debug for NiLiConEngine {
@@ -91,6 +102,8 @@ impl NiLiConEngine {
             log_store: BTreeMap::new(),
             log_fail_after_chunks: None,
             log_chunks_shipped: 0,
+            pipe_backlog: 0,
+            stage_fail_at_chunk: None,
         }
     }
 
@@ -201,7 +214,19 @@ impl NiLiConEngine {
                 drained += n;
                 payload_bytes += bytes;
                 chunks_sent += 1;
-                backup_cpu += self.agent.ingest_chunk(epoch, pages, deltas)?;
+                let ingest_cpu = self.agent.ingest_chunk(epoch, pages, deltas)?;
+                backup_cpu += ingest_cpu;
+                if self.stage_fail_at_chunk.is_some_and(|k| k + 1 == chunks_sent) {
+                    // Ingest-stage crash: the chunk replays from the upstream
+                    // queue — received twice, applied once (the crashed
+                    // attempt died before mutating the assembly).
+                    self.stage_fail_at_chunk = None;
+                    backup_cpu += ingest_cpu;
+                    self.tracer.mark(TraceEvent::StageRestart {
+                        stage: "ingest".into(),
+                        chunk: chunks_sent - 1,
+                    });
+                }
                 if self.cow_fail_after_chunks.is_some_and(|k| chunks_sent >= k) {
                     aborted = true;
                     break 'drain;
@@ -253,6 +278,148 @@ impl NiLiConEngine {
         self.tracer.span(TraceEvent::Ack, link);
         Ok((ack_delay, meta_bytes + payload_bytes, backup_cpu))
     }
+
+    /// Staged-pipeline extension: the eager dump's page payload leaves the
+    /// stop phase and flows through delta-encode → transfer → backup-ingest
+    /// stages overlapped with the next execution phase. The dumped pages are
+    /// immutable refcounted snapshots, so encoding them after resume cannot
+    /// race container writes — the stop phase keeps only freeze + dump +
+    /// local copy.
+    ///
+    /// The queue between encode and transfer holds [`PIPE_BOUND`] chunks:
+    /// chunk `i`'s encode cannot start before the link finished chunk
+    /// `i - PIPE_BOUND`, so the pipeline cannot run arbitrarily far ahead of
+    /// a slow link. Chunks hand off peek-before-commit — the upstream queue
+    /// keeps a chunk until the downstream stage durably accepted it, so a
+    /// crashed-and-restarted stage ([`stage_fail_at_chunk`]) replays its
+    /// in-flight chunk: charged twice in time, applied once to the assembly.
+    /// The epoch becomes ackable only at the `finish_assembly` barrier,
+    /// exactly like the synchronous path, so the committed image is
+    /// byte-identical.
+    ///
+    /// Returns `(ack_delay, state_bytes, backup_cpu)`; the emitted
+    /// `Transfer + BackupIngest + Ack` spans tile `ack_delay` exactly.
+    ///
+    /// [`stage_fail_at_chunk`]: NiLiConEngine::stage_fail_at_chunk
+    fn pipeline_stream(
+        &mut self,
+        primary: &mut Kernel,
+        mut img: CheckpointImage,
+        msgs: Vec<DrbdMsg>,
+        drbd_bytes: u64,
+        drbd_msgs: u64,
+        epoch: u64,
+    ) -> SimResult<(Nanos, u64, Nanos)> {
+        /// Pages per pipelined chunk (matches `cow_stream`/`transfer_chunks`).
+        const PIPE_CHUNK: usize = 64;
+        /// Bounded-queue depth between the encode and transfer stages.
+        const PIPE_BOUND: usize = 4;
+        let costs = primary.costs.clone();
+        let link = costs.repl_link_latency;
+
+        let pages = std::mem::take(&mut img.pages);
+        let expected = pages.len() as u64;
+        // Chunk 0: metadata + DRBD, ready the moment the container resumes.
+        // `transfer_cost` includes the propagation latency; peel it off — in
+        // the pipelined model it is paid once, after the last chunk.
+        let meta_bytes = img.state_bytes() + drbd_bytes;
+        let meta_ser =
+            self.transfer_cost(primary, meta_bytes, img.transfer_chunks() + drbd_msgs) - link;
+        let mut backup_cpu = self.agent.begin_assembly(img, expected);
+        backup_cpu += self.agent.ingest_drbd(msgs);
+
+        let delta = self.opts.delta_transfer;
+        let mut dstats = DeltaStats::default();
+        let mut payload_bytes = 0u64;
+        let mut t_enc: Nanos = 0; // when the encode stage finishes chunk i
+        let mut t_send: Nanos = meta_ser; // when the link finishes chunk i
+        let mut sent_at: Vec<Nanos> = Vec::new();
+        for (i, chunk) in pages.chunks(PIPE_CHUNK).enumerate() {
+            let n = chunk.len() as u64;
+            if self.tracer.enabled() {
+                self.tracer.mark(TraceEvent::StageEnqueue {
+                    stage: "encode".into(),
+                    chunk: i as u64,
+                });
+            }
+            // Bounded handoff: the encode stage stalls while the link is
+            // PIPE_BOUND chunks behind (its output queue is full).
+            let gate = if i >= PIPE_BOUND { sent_at[i - PIPE_BOUND] } else { 0 };
+            let (pages_out, deltas_out, bytes, encode_cost) = if delta {
+                // Encode against the shadow of the last shipped epoch — the
+                // CPU rides the background stage, off the stop phase.
+                let cost = n * costs.delta_encode_per_page;
+                primary.meter.charge(cost);
+                let mut encs = Vec::with_capacity(chunk.len());
+                let mut bytes = 0u64;
+                for (pid, vpn, data) in chunk {
+                    let enc = self.shadow.encode(
+                        PageKey { pid: *pid, vpn: *vpn },
+                        data,
+                        &mut dstats,
+                    );
+                    bytes += enc.encoded_bytes();
+                    encs.push((*pid, *vpn, enc));
+                }
+                (Vec::new(), encs, bytes, cost)
+            } else {
+                (chunk.to_vec(), Vec::new(), n * PAGE_SIZE as u64, 0)
+            };
+            t_enc = t_enc.max(gate) + encode_cost;
+            // Queueing delay between encode-done and link pickup.
+            let wait = t_send.saturating_sub(t_enc);
+            t_send = t_send.max(t_enc) + costs.repl_wire(bytes) + costs.repl_msg_overhead;
+            sent_at.push(t_send);
+            payload_bytes += bytes;
+            let ingest_cpu = self.agent.ingest_chunk(epoch, pages_out, deltas_out)?;
+            backup_cpu += ingest_cpu;
+            if self.stage_fail_at_chunk.is_some_and(|k| k == i as u64) {
+                // Ingest-stage crash: the chunk replays from the upstream
+                // queue — received twice, applied once (the crashed attempt
+                // died before mutating the assembly).
+                self.stage_fail_at_chunk = None;
+                backup_cpu += ingest_cpu;
+                self.tracer.mark(TraceEvent::StageRestart {
+                    stage: "ingest".into(),
+                    chunk: i as u64,
+                });
+            }
+            if self.tracer.enabled() {
+                self.tracer.mark(TraceEvent::StageDequeue {
+                    stage: "transfer".into(),
+                    chunk: i as u64,
+                    wait,
+                });
+            }
+        }
+        // The encode CPU was charged to the background stage; it must not
+        // bill the next exec phase's interval meter.
+        primary.meter.take();
+
+        // Commit barrier: the epoch becomes ackable only now.
+        self.agent.finish_assembly(epoch)?;
+
+        let ack_delay = t_send + link + backup_cpu + link;
+        if delta && self.tracer.enabled() {
+            self.tracer.mark(TraceEvent::DeltaEncode {
+                zero_pages: dstats.zero_pages,
+                delta_pages: dstats.delta_pages,
+                full_pages: dstats.full_pages,
+                raw_bytes: dstats.raw_bytes,
+                encoded_bytes: dstats.encoded_bytes,
+            });
+        }
+        self.tracer.span(
+            TraceEvent::Transfer {
+                bytes: meta_bytes + payload_bytes,
+            },
+            t_send + link,
+        );
+        self.tracer
+            .span(TraceEvent::BackupIngest { probes: 0 }, backup_cpu);
+        self.tracer.span(TraceEvent::Ack, link);
+        Ok((ack_delay, meta_bytes + payload_bytes, backup_cpu))
+    }
 }
 
 impl Checkpointer for NiLiConEngine {
@@ -262,6 +429,10 @@ impl Checkpointer for NiLiConEngine {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn inject_stage_fail(&mut self, chunk: u64) {
+        self.stage_fail_at_chunk = Some(chunk);
     }
 
     fn prepare(&mut self, primary: &mut Kernel, container: &Container) -> SimResult<()> {
@@ -304,6 +475,10 @@ impl Checkpointer for NiLiConEngine {
             return Err(SimError::Invalid("engine not prepared".into()));
         }
         let cfg = self.opts.dump_config();
+        // The staged pipeline needs the staging buffer (§V-D(2)) to overlap
+        // the ack path with execution; COW has its own streaming drain, so
+        // the eager pipelined path covers the remaining shape.
+        let pipelined = self.opts.pipeline && self.opts.staging_buffer && !cfg.cow;
         primary.meter.take();
 
         // --- Stop phase -------------------------------------------------
@@ -337,8 +512,10 @@ impl Checkpointer for NiLiConEngine {
         // epoch. The encode CPU is part of the stop phase — it must finish
         // before the container resumes, or the parasite's page contents
         // could change under the encoder. Under COW the pages are deferred,
-        // so encoding moves to the background drain (`cow_stream`).
-        let delta_stats = if self.opts.delta_transfer && !cfg.cow {
+        // so encoding moves to the background drain (`cow_stream`); under the
+        // staged pipeline the dumped pages are immutable snapshots, so
+        // encoding moves to the background encode stage (`pipeline_stream`).
+        let delta_stats = if self.opts.delta_transfer && !cfg.cow && !pipelined {
             let stats = img.encode_pages(&mut self.shadow);
             primary
                 .meter
@@ -393,12 +570,41 @@ impl Checkpointer for NiLiConEngine {
             bytes: wire.bytes,
         });
 
+        // Staged pipeline: if the previous epoch's pipeline has not fully
+        // drained, the stop phase stalls until the backlog clears. A link
+        // slower than the epoch's execution phase thus degrades toward the
+        // paper's synchronous behavior instead of queueing unboundedly.
+        if self.opts.pipeline && self.pipe_backlog > 0 {
+            let stalled = std::mem::take(&mut self.pipe_backlog);
+            stop_time += stalled;
+            self.tracer.span(TraceEvent::Backpressure { stalled }, stalled);
+        }
+
         // --- Transfer + ack --------------------------------------------
         // COW: the container is already running; drain the write-protected
         // pages into staging and stream them to the backup, chunk by chunk.
         if cfg.cow {
             let (ack_delay, state_bytes, backup_cpu) =
                 self.cow_stream(primary, img, msgs, wire.bytes, drbd_msgs, epoch)?;
+            if self.opts.pipeline {
+                self.pipe_backlog = ack_delay;
+            }
+            return Ok(CheckpointOutcome {
+                stop_time,
+                state_bytes,
+                dirty_pages,
+                ack_delay,
+                backup_cpu,
+            });
+        }
+
+        // Staged pipeline (eager dump): the page payload flows through the
+        // encode → transfer → ingest stages overlapped with the next
+        // execution phase.
+        if pipelined {
+            let (ack_delay, state_bytes, backup_cpu) =
+                self.pipeline_stream(primary, img, msgs, wire.bytes, drbd_msgs, epoch)?;
+            self.pipe_backlog = ack_delay;
             return Ok(CheckpointOutcome {
                 stop_time,
                 state_bytes,
@@ -457,6 +663,10 @@ impl Checkpointer for NiLiConEngine {
             ack_delay,
             backup_cpu,
         })
+    }
+
+    fn pipeline_advance(&mut self, elapsed: Nanos) {
+        self.pipe_backlog = self.pipe_backlog.saturating_sub(elapsed);
     }
 
     fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos> {
@@ -528,6 +738,7 @@ impl Checkpointer for NiLiConEngine {
         self.bootstrap_cpu_carry = 0;
         self.log_store.clear();
         self.log_chunks_shipped = 0;
+        self.pipe_backlog = 0;
         self.prepared = false;
         self.prepare(primary, container)
     }

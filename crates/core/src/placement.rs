@@ -68,13 +68,13 @@ use nilicon_sim::mem::TrackingMode;
 use nilicon_sim::net::InputMode;
 use nilicon_sim::replay::{ReplayEvent, ReplayLog};
 use nilicon_sim::time::Nanos;
-use nilicon_sim::{SimError, SimResult, PAGE_SIZE};
+use nilicon_sim::{PageBuf, SimError, SimResult, PAGE_SIZE};
 use std::collections::{BTreeMap, HashSet};
 
 /// One replica's per-epoch fragment batch, in `BackupAgent::ingest_chunk`
 /// page form: each entry carries a zero-padded `PAGE_SIZE` box holding that
 /// replica's fragment of the page.
-type FragmentBatch = Vec<(Pid, u64, Box<[u8; PAGE_SIZE]>)>;
+type FragmentBatch = Vec<(Pid, u64, PageBuf)>;
 
 /// One backup replica: a buffered agent plus its replicated block device.
 /// The replica at index 0 is backed by the harness's real backup kernel —
@@ -93,7 +93,7 @@ struct ActiveRepair {
     target: usize,
     /// Full committed pages decoded from k survivors at repair begin,
     /// streamed to the target in bounded chunks.
-    base_pages: Vec<(Pid, u64, Box<[u8; PAGE_SIZE]>)>,
+    base_pages: Vec<(Pid, u64, PageBuf)>,
     /// Next page to stream.
     cursor: usize,
     /// Committed epoch the base image corresponds to.
@@ -136,6 +136,15 @@ pub struct PlacementEngine {
     /// flight.
     pub log_fail_after_chunks: Option<u64>,
     log_chunks_shipped: u64,
+    /// Staged-pipeline extension: ack-path work of the previous epoch's
+    /// fan-out not yet overlapped by execution time (see
+    /// `NiLiConEngine::pipe_backlog`).
+    pipe_backlog: Nanos,
+    /// Test hook mirroring `NiLiConEngine::stage_fail_at_chunk`: the
+    /// designated replica's ingest stage crashes once at this chunk index
+    /// and replays it from the upstream queue (received twice, applied
+    /// once).
+    pub stage_fail_at_chunk: Option<u64>,
 }
 
 impl std::fmt::Debug for PlacementEngine {
@@ -187,6 +196,8 @@ impl PlacementEngine {
             log_store: BTreeMap::new(),
             log_fail_after_chunks: None,
             log_chunks_shipped: 0,
+            pipe_backlog: 0,
+            stage_fail_at_chunk: None,
         })
     }
 
@@ -246,13 +257,13 @@ impl PlacementEngine {
             .collect()
     }
 
-    /// Zero-padded fragment `idx` of `page`, boxed for the agent's page
-    /// store (which holds 4 KiB units).
-    fn frag_boxed(&mut self, page: &[u8; PAGE_SIZE], idx: usize) -> Box<[u8; PAGE_SIZE]> {
+    /// Zero-padded fragment `idx` of `page`, as a fresh refcounted buffer
+    /// for the agent's page store (which holds 4 KiB units).
+    fn frag_boxed(&mut self, page: &[u8; PAGE_SIZE], idx: usize) -> PageBuf {
         let frags = self.codec.encode(page);
-        let mut b = Box::new([0u8; PAGE_SIZE]);
+        let mut b = [0u8; PAGE_SIZE];
         b[..frags[idx].len()].copy_from_slice(&frags[idx]);
-        b
+        std::rc::Rc::new(b)
     }
 
     /// Reconstruct the committed image byte-identically from the fragment
@@ -303,9 +314,9 @@ impl PlacementEngine {
                 }
                 frags.push((replicas[j], &data[..frag_len]));
             }
-            let mut full = Box::new([0u8; PAGE_SIZE]);
+            let mut full = [0u8; PAGE_SIZE];
             self.codec.decode(&frags, &mut full)?;
-            pages.push((pid, vpn, full));
+            pages.push((pid, vpn, std::rc::Rc::new(full)));
         }
         out.pages = pages;
         Ok(out)
@@ -331,6 +342,10 @@ impl Checkpointer for PlacementEngine {
 
     fn set_tracer(&mut self, tracer: Tracer) {
         self.tracer = tracer;
+    }
+
+    fn inject_stage_fail(&mut self, chunk: u64) {
+        self.stage_fail_at_chunk = Some(chunk);
     }
 
     fn prepare(&mut self, primary: &mut Kernel, container: &Container) -> SimResult<()> {
@@ -408,7 +423,7 @@ impl Checkpointer for PlacementEngine {
         primary.stack_mut(container.ns.net)?.unblock_input();
         primary.thaw_cgroup(container.cgroup)?;
         let m_resumed = primary.meter.lifetime_total();
-        let stop_time = primary.meter.take();
+        let mut stop_time = primary.meter.take();
 
         self.tracer.span(TraceEvent::Freeze, m_frozen - m_start);
         self.tracer
@@ -428,6 +443,14 @@ impl Checkpointer for PlacementEngine {
             bytes: wire.bytes,
         });
 
+        // Staged pipeline: a previous epoch's undrained fan-out stalls this
+        // stop phase (backpressure) instead of queueing unboundedly.
+        if self.opts.pipeline && self.pipe_backlog > 0 {
+            let stalled = std::mem::take(&mut self.pipe_backlog);
+            stop_time += stalled;
+            self.tracer.span(TraceEvent::Backpressure { stalled }, stalled);
+        }
+
         // --- Shard encode + parallel fan-out (ack path) ------------------
         // The container is already running. Erasure-code each dirty page
         // into n fragments and ship fragment i to replica i behind the
@@ -443,71 +466,183 @@ impl Checkpointer for PlacementEngine {
             pages.iter().map(|&(pid, vpn, _)| (pid, vpn)).collect(),
         );
 
-        let mut batches: Vec<FragmentBatch> = self
-            .replicas
-            .iter()
-            .map(|r| {
-                if r.alive {
-                    Vec::with_capacity(pages.len())
-                } else {
-                    Vec::new()
-                }
-            })
-            .collect();
-        for (pid, vpn, data) in &pages {
-            let frags = self.codec.encode(data);
-            for (i, frag) in frags.iter().enumerate() {
-                if !self.replicas[i].alive {
-                    continue;
-                }
-                let mut b = Box::new([0u8; PAGE_SIZE]);
-                b[..frag.len()].copy_from_slice(frag);
-                batches[i].push((*pid, *vpn, b));
-            }
-        }
-        let shard_cpu = n_pages * primary.costs.shard_encode_per_page;
-
-        let mut total_cpu: Nanos = 0;
-        let mut ingest_one: Nanos = 0;
-        for (i, batch) in batches.into_iter().enumerate() {
-            if !self.replicas[i].alive {
-                continue;
-            }
-            let agent = &mut self.replicas[i].agent;
-            let mut cpu = agent.begin_assembly(img.clone(), n_pages);
-            cpu += agent.ingest_chunk(epoch, batch, Vec::new())?;
-            agent.finish_assembly(epoch)?;
-            cpu += agent.ingest_drbd(msgs.clone());
-            total_cpu += cpu;
-            if ingest_one == 0 {
-                ingest_one = cpu;
-            }
-        }
-
-        let transfer = self.transfer_cost(
-            primary,
-            meta_bytes + frag_bytes + wire.bytes,
-            chunks + drbd_msgs,
-        );
         let link = primary.costs.repl_link_latency;
-        self.tracer.span(
-            TraceEvent::ShardCommit {
+        let (ack_delay, total_cpu) = if self.opts.pipeline {
+            // --- Staged pipeline: chunked stripe fan-out -----------------
+            // Each 64-page chunk is erasure-coded and striped to all alive
+            // replicas as soon as it is encoded, with the shard-encode stage
+            // at most PIPE_BOUND chunks ahead of the (parallel) links. The
+            // per-replica assembly barrier still gates the ack, so the
+            // committed fragment stores are byte-identical to the
+            // whole-epoch fan-out.
+            const PIPE_CHUNK: usize = 64;
+            const PIPE_BOUND: usize = 4;
+            let alive_idx = self.alive_indices();
+            let first_alive = alive_idx[0];
+            let meta_ser = self
+                .transfer_cost(primary, meta_bytes + wire.bytes, chunks + drbd_msgs)
+                - link;
+            let mut per_cpu: Vec<Nanos> = vec![0; self.replicas.len()];
+            for &i in &alive_idx {
+                per_cpu[i] = self.replicas[i].agent.begin_assembly(img.clone(), n_pages);
+            }
+            let mut t_enc: Nanos = 0;
+            let mut t_send: Nanos = meta_ser;
+            let mut sent_at: Vec<Nanos> = Vec::new();
+            for (ci, chunk) in pages.chunks(PIPE_CHUNK).enumerate() {
+                if self.tracer.enabled() {
+                    self.tracer.mark(TraceEvent::StageEnqueue {
+                        stage: "encode".into(),
+                        chunk: ci as u64,
+                    });
+                }
+                let gate = if ci >= PIPE_BOUND { sent_at[ci - PIPE_BOUND] } else { 0 };
+                let mut chunk_batches: Vec<FragmentBatch> =
+                    self.replicas.iter().map(|_| Vec::new()).collect();
+                for (pid, vpn, data) in chunk {
+                    let frags = self.codec.encode(data);
+                    for (i, frag) in frags.iter().enumerate() {
+                        if !self.replicas[i].alive {
+                            continue;
+                        }
+                        let mut b = [0u8; PAGE_SIZE];
+                        b[..frag.len()].copy_from_slice(frag);
+                        chunk_batches[i].push((*pid, *vpn, std::rc::Rc::new(b)));
+                    }
+                }
+                let n = chunk.len() as u64;
+                t_enc = t_enc.max(gate) + n * primary.costs.shard_encode_per_page;
+                let wait = t_send.saturating_sub(t_enc);
+                // Replica links run in parallel: one chunk's wire time is a
+                // single fragment batch.
+                t_send = t_send.max(t_enc)
+                    + primary.costs.repl_wire(n * frag_len)
+                    + primary.costs.repl_msg_overhead;
+                sent_at.push(t_send);
+                for (i, batch) in chunk_batches.into_iter().enumerate() {
+                    if !self.replicas[i].alive {
+                        continue;
+                    }
+                    let cpu = self.replicas[i].agent.ingest_chunk(epoch, batch, Vec::new())?;
+                    per_cpu[i] += cpu;
+                    if i == first_alive
+                        && self.stage_fail_at_chunk.is_some_and(|k| k == ci as u64)
+                    {
+                        // Ingest-stage crash on the designated replica: the
+                        // chunk replays from the upstream queue — received
+                        // twice, applied once.
+                        self.stage_fail_at_chunk = None;
+                        per_cpu[i] += cpu;
+                        self.tracer.mark(TraceEvent::StageRestart {
+                            stage: "ingest".into(),
+                            chunk: ci as u64,
+                        });
+                    }
+                }
+                if self.tracer.enabled() {
+                    self.tracer.mark(TraceEvent::StageDequeue {
+                        stage: "transfer".into(),
+                        chunk: ci as u64,
+                        wait,
+                    });
+                }
+            }
+            for &i in &alive_idx {
+                let agent = &mut self.replicas[i].agent;
+                agent.finish_assembly(epoch)?;
+                per_cpu[i] += agent.ingest_drbd(msgs.clone());
+            }
+            let ingest_one = per_cpu[first_alive];
+            // Shard encode moved to a background stage: the marker keeps the
+            // fan-out observable while Transfer + BackupIngest + Ack tile
+            // the ack delay.
+            self.tracer.mark(TraceEvent::ShardCommit {
                 shards: self.codec.n(),
                 pages: n_pages,
                 frag_bytes,
-            },
-            shard_cpu,
-        );
-        self.tracer.span(
-            TraceEvent::Transfer {
-                bytes: meta_bytes + frag_bytes + wire.bytes,
-            },
-            transfer,
-        );
-        self.tracer
-            .span(TraceEvent::BackupIngest { probes: 0 }, ingest_one);
-        self.tracer.span(TraceEvent::Ack, link);
-        let ack_delay = shard_cpu + transfer + ingest_one + link;
+            });
+            self.tracer.span(
+                TraceEvent::Transfer {
+                    bytes: meta_bytes + frag_bytes + wire.bytes,
+                },
+                t_send + link,
+            );
+            self.tracer
+                .span(TraceEvent::BackupIngest { probes: 0 }, ingest_one);
+            self.tracer.span(TraceEvent::Ack, link);
+            (
+                t_send + link + ingest_one + link,
+                per_cpu.iter().sum::<Nanos>(),
+            )
+        } else {
+            let mut batches: Vec<FragmentBatch> = self
+                .replicas
+                .iter()
+                .map(|r| {
+                    if r.alive {
+                        Vec::with_capacity(pages.len())
+                    } else {
+                        Vec::new()
+                    }
+                })
+                .collect();
+            for (pid, vpn, data) in &pages {
+                let frags = self.codec.encode(data);
+                for (i, frag) in frags.iter().enumerate() {
+                    if !self.replicas[i].alive {
+                        continue;
+                    }
+                    let mut b = [0u8; PAGE_SIZE];
+                    b[..frag.len()].copy_from_slice(frag);
+                    batches[i].push((*pid, *vpn, std::rc::Rc::new(b)));
+                }
+            }
+            let shard_cpu = n_pages * primary.costs.shard_encode_per_page;
+
+            let mut total_cpu: Nanos = 0;
+            let mut ingest_one: Nanos = 0;
+            for (i, batch) in batches.into_iter().enumerate() {
+                if !self.replicas[i].alive {
+                    continue;
+                }
+                let agent = &mut self.replicas[i].agent;
+                let mut cpu = agent.begin_assembly(img.clone(), n_pages);
+                cpu += agent.ingest_chunk(epoch, batch, Vec::new())?;
+                agent.finish_assembly(epoch)?;
+                cpu += agent.ingest_drbd(msgs.clone());
+                total_cpu += cpu;
+                if ingest_one == 0 {
+                    ingest_one = cpu;
+                }
+            }
+
+            let transfer = self.transfer_cost(
+                primary,
+                meta_bytes + frag_bytes + wire.bytes,
+                chunks + drbd_msgs,
+            );
+            self.tracer.span(
+                TraceEvent::ShardCommit {
+                    shards: self.codec.n(),
+                    pages: n_pages,
+                    frag_bytes,
+                },
+                shard_cpu,
+            );
+            self.tracer.span(
+                TraceEvent::Transfer {
+                    bytes: meta_bytes + frag_bytes + wire.bytes,
+                },
+                transfer,
+            );
+            self.tracer
+                .span(TraceEvent::BackupIngest { probes: 0 }, ingest_one);
+            self.tracer.span(TraceEvent::Ack, link);
+            (shard_cpu + transfer + ingest_one + link, total_cpu)
+        };
+        if self.opts.pipeline {
+            self.pipe_backlog = ack_delay;
+        }
 
         Ok(CheckpointOutcome {
             stop_time,
@@ -516,6 +651,10 @@ impl Checkpointer for PlacementEngine {
             ack_delay,
             backup_cpu: total_cpu,
         })
+    }
+
+    fn pipeline_advance(&mut self, elapsed: Nanos) {
+        self.pipe_backlog = self.pipe_backlog.saturating_sub(elapsed);
     }
 
     fn commit(&mut self, backup: &mut Kernel, epoch: u64) -> SimResult<Nanos> {
@@ -636,6 +775,7 @@ impl Checkpointer for PlacementEngine {
             r.disk = BlockDevice::default();
             r.alive = true;
         }
+        self.pipe_backlog = 0;
         self.drbd = DrbdPrimary::new();
         self.epoch_keys.clear();
         self.redirty.clear();

@@ -378,6 +378,47 @@ pub enum TraceEvent {
         /// Why: `"gap"`, `"partial"`, or `"mismatch"`.
         reason: String,
     },
+    /// A pipeline stage accepted a chunk into its bounded input queue
+    /// (staged-pipeline extension; marker). The chunk stays in the upstream
+    /// queue until the downstream stage durably accepts it
+    /// (peek-before-commit), so a stage restart replays it.
+    StageEnqueue {
+        /// Stage name: `"encode"`, `"transfer"`, or `"ingest"`.
+        stage: String,
+        /// Zero-based chunk index within the epoch.
+        chunk: u64,
+    },
+    /// A pipeline stage finished a chunk and the downstream stage accepted
+    /// it — the chunk is now removed from the upstream queue
+    /// (staged-pipeline extension; marker).
+    StageDequeue {
+        /// Stage name: `"encode"`, `"transfer"`, or `"ingest"`.
+        stage: String,
+        /// Zero-based chunk index within the epoch.
+        chunk: u64,
+        /// Virtual ns the chunk waited in the queue before the stage could
+        /// start it (queueing delay — the pipeline's internal backpressure).
+        wait: Nanos,
+    },
+    /// A pipeline stage crashed mid-chunk and was restarted by its
+    /// supervisor; the in-flight chunk is replayed from the upstream queue
+    /// — charged twice in time, applied once in state (staged-pipeline
+    /// extension; marker).
+    StageRestart {
+        /// Stage name: `"encode"`, `"transfer"`, or `"ingest"`.
+        stage: String,
+        /// Zero-based chunk index that was replayed.
+        chunk: u64,
+    },
+    /// The previous epoch's pipeline had not fully drained when this epoch's
+    /// checkpoint began: the stop phase stalls until the backlog clears
+    /// (staged-pipeline extension; a *stop-phase* span). Persistent
+    /// backpressure degrades the pipeline toward the paper's synchronous
+    /// behavior.
+    Backpressure {
+        /// Virtual ns the stop phase stalled waiting for the pipeline.
+        stalled: Nanos,
+    },
 }
 
 impl TraceEvent {
@@ -423,6 +464,10 @@ impl TraceEvent {
             TraceEvent::ReplayStart { .. } => "ReplayStart",
             TraceEvent::ReplayComplete { .. } => "ReplayComplete",
             TraceEvent::ReplayDiverge { .. } => "ReplayDiverge",
+            TraceEvent::StageEnqueue { .. } => "StageEnqueue",
+            TraceEvent::StageDequeue { .. } => "StageDequeue",
+            TraceEvent::StageRestart { .. } => "StageRestart",
+            TraceEvent::Backpressure { .. } => "Backpressure",
         }
     }
 
@@ -434,6 +479,7 @@ impl TraceEvent {
                 | TraceEvent::Dump { .. }
                 | TraceEvent::DeltaEncode { .. }
                 | TraceEvent::LocalCopy
+                | TraceEvent::Backpressure { .. }
         )
     }
 
@@ -664,6 +710,31 @@ impl serde::ser::Serialize for TraceEvent {
                 "ReplayDiverge",
                 vec![("reason".into(), Value::Str(reason.clone()))],
             ),
+            TraceEvent::StageEnqueue { stage, chunk } => tagged(
+                "StageEnqueue",
+                vec![
+                    ("stage".into(), Value::Str(stage.clone())),
+                    ("chunk".into(), u(*chunk)),
+                ],
+            ),
+            TraceEvent::StageDequeue { stage, chunk, wait } => tagged(
+                "StageDequeue",
+                vec![
+                    ("stage".into(), Value::Str(stage.clone())),
+                    ("chunk".into(), u(*chunk)),
+                    ("wait".into(), u(*wait)),
+                ],
+            ),
+            TraceEvent::StageRestart { stage, chunk } => tagged(
+                "StageRestart",
+                vec![
+                    ("stage".into(), Value::Str(stage.clone())),
+                    ("chunk".into(), u(*chunk)),
+                ],
+            ),
+            TraceEvent::Backpressure { stalled } => {
+                tagged("Backpressure", vec![("stalled".into(), u(*stalled))])
+            }
         }
     }
 }
@@ -821,6 +892,22 @@ impl serde::de::Deserialize for TraceEvent {
             }),
             "ReplayDiverge" => Ok(TraceEvent::ReplayDiverge {
                 reason: serde::de::field(fields, "reason")?,
+            }),
+            "StageEnqueue" => Ok(TraceEvent::StageEnqueue {
+                stage: serde::de::field(fields, "stage")?,
+                chunk: f(fields, "chunk")?,
+            }),
+            "StageDequeue" => Ok(TraceEvent::StageDequeue {
+                stage: serde::de::field(fields, "stage")?,
+                chunk: f(fields, "chunk")?,
+                wait: f(fields, "wait")?,
+            }),
+            "StageRestart" => Ok(TraceEvent::StageRestart {
+                stage: serde::de::field(fields, "stage")?,
+                chunk: f(fields, "chunk")?,
+            }),
+            "Backpressure" => Ok(TraceEvent::Backpressure {
+                stalled: f(fields, "stalled")?,
             }),
             other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
         }
@@ -1406,6 +1493,20 @@ mod tests {
             TraceEvent::ReplayDiverge {
                 reason: "partial".into(),
             },
+            TraceEvent::StageEnqueue {
+                stage: "encode".into(),
+                chunk: 7,
+            },
+            TraceEvent::StageDequeue {
+                stage: "transfer".into(),
+                chunk: 7,
+                wait: 12_000,
+            },
+            TraceEvent::StageRestart {
+                stage: "ingest".into(),
+                chunk: 3,
+            },
+            TraceEvent::Backpressure { stalled: 2_500_000 },
         ];
         for kind in variants {
             let rec = TraceRecord {

@@ -171,3 +171,40 @@ fn failover_run_traces_misses_and_recovery() {
         "healthy epochs traced their releases"
     );
 }
+
+/// The harness's timed stage-crash hook (the chaos catalog's
+/// `pipeline-stage-crash-*` scenarios) arms the engine's one-shot stage
+/// fault: the staged transfer loses its ingest stage at the scheduled
+/// chunk, the peek-before-commit slot replays it, and the trace records
+/// exactly one `StageRestart` — with the run still verifying.
+#[test]
+fn injected_stage_fail_traces_a_stage_restart() {
+    let mut opts = OptimizationConfig::nilicon();
+    opts.pipeline = true;
+    let mode = RunMode::Replicated(Box::new(NiLiConEngine::new(opts, CostModel::default())));
+    let mut h = RunHarness::new(
+        spec(),
+        Box::new(Echo),
+        Some(Box::new(OneClient { seq: 0 })),
+        mode,
+        ReplicationConfig::default(),
+        1.0,
+    )
+    .unwrap();
+    let (tracer, ring) = Tracer::in_memory(8192);
+    h.set_tracer(tracer);
+    h.inject_stage_fail_at(150 * MILLISECOND, 0);
+    h.run_epochs(10).unwrap();
+    let r = h.finish();
+    r.verify.expect("stage crash must not corrupt the run");
+
+    let restarts: Vec<_> = ring
+        .snapshot()
+        .iter()
+        .filter_map(|rec| match &rec.kind {
+            TraceEvent::StageRestart { stage, chunk } => Some((stage.clone(), *chunk)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(restarts, [("ingest".to_string(), 0)]);
+}

@@ -5,7 +5,7 @@ use crate::pagestore::PageKey;
 use nilicon_sim::cgroup::Cgroup;
 use nilicon_sim::fs::{FsCacheCheckpoint, Inode, Mount};
 use nilicon_sim::ids::{AsId, Fd, Ino, Pid};
-use nilicon_sim::mem::Vma;
+use nilicon_sim::mem::{PageBuf, Vma};
 use nilicon_sim::net::RepairState;
 use nilicon_sim::ns::{Namespace, NsSet};
 use nilicon_sim::proc::{FdEntry, Thread};
@@ -94,7 +94,7 @@ pub struct CheckpointImage {
     pub processes: Vec<ProcessImage>,
     /// Incremental page dump: `(pid, vpn, contents)`. Only pages dirtied
     /// since the previous checkpoint appear here.
-    pub pages: Vec<(Pid, u64, Box<[u8; PAGE_SIZE]>)>,
+    pub pages: Vec<(Pid, u64, PageBuf)>,
     /// Delta-encoded page dump: `(pid, vpn, encoding)`. Populated by
     /// [`CheckpointImage::encode_pages`] (which drains [`pages`] into it) on
     /// the wire path when delta transfer is enabled; the backup reconstructs
@@ -222,7 +222,7 @@ mod tests {
     fn state_bytes_dominated_by_pages() {
         let mut img = CheckpointImage::default();
         for vpn in 0..100u64 {
-            img.pages.push((Pid(1), vpn, Box::new([0u8; PAGE_SIZE])));
+            img.pages.push((Pid(1), vpn, nilicon_sim::zero_page()));
         }
         img.sockets.push(repair(1000, 500));
         let total = img.state_bytes();
@@ -238,7 +238,7 @@ mod tests {
     #[test]
     fn transfer_chunks_scale_with_sockets() {
         let mut few = CheckpointImage::default();
-        few.pages.push((Pid(1), 0, Box::new([0u8; PAGE_SIZE])));
+        few.pages.push((Pid(1), 0, nilicon_sim::zero_page()));
         let mut many = few.clone();
         for _ in 0..128 {
             many.sockets.push(repair(10, 10));
@@ -254,10 +254,10 @@ mod tests {
         let mut shadow = ShadowStore::new();
         // Epoch 1: first touch — everything ships full (plus zero elision).
         let mut img1 = CheckpointImage::default();
-        let mut data = Box::new([0u8; PAGE_SIZE]);
-        data[0] = 1;
-        img1.pages.push((Pid(1), 0x10, data.clone()));
-        img1.pages.push((Pid(1), 0x11, Box::new([0u8; PAGE_SIZE])));
+        let mut raw = [0u8; PAGE_SIZE];
+        raw[0] = 1;
+        img1.pages.push((Pid(1), 0x10, std::rc::Rc::new(raw)));
+        img1.pages.push((Pid(1), 0x11, nilicon_sim::zero_page()));
         let raw1 = img1.state_bytes();
         let stats1 = img1.encode_pages(&mut shadow);
         assert!(img1.pages.is_empty(), "pages drained into deltas");
@@ -267,8 +267,8 @@ mod tests {
 
         // Epoch 2: one word changed — ships as a tiny delta.
         let mut img2 = CheckpointImage::default();
-        data[0] = 2;
-        img2.pages.push((Pid(1), 0x10, data));
+        raw[0] = 2;
+        img2.pages.push((Pid(1), 0x10, std::rc::Rc::new(raw)));
         let raw2 = img2.state_bytes();
         let stats2 = img2.encode_pages(&mut shadow);
         assert_eq!(stats2.delta_pages, 1);

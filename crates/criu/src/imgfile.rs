@@ -494,9 +494,9 @@ fn decode_pages(r: &mut R<'_>, img: &mut CheckpointImage) -> SimResult<()> {
         let pid = Pid(r.u32()?);
         let vpn = r.u64()?;
         let data = r.take(PAGE_SIZE)?;
-        let mut page = Box::new([0u8; PAGE_SIZE]);
+        let mut page = [0u8; PAGE_SIZE];
         page.copy_from_slice(data);
-        img.pages.push((pid, vpn, page));
+        img.pages.push((pid, vpn, std::rc::Rc::new(page)));
     }
     Ok(())
 }

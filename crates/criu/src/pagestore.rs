@@ -17,7 +17,7 @@
 
 use crate::delta::PageEncoding;
 use nilicon_sim::ids::Pid;
-use nilicon_sim::PAGE_SIZE;
+use nilicon_sim::PageBuf;
 use std::collections::HashMap;
 
 /// Largest virtual page number either store can address: the radix tree
@@ -39,11 +39,11 @@ pub struct PageKey {
 pub trait PageStore {
     /// Insert (or replace) a page. Returns the number of *probe operations*
     /// performed — the unit the replication runtime converts into backup CPU
-    /// time.
-    fn insert(&mut self, key: PageKey, page: Box<[u8; PAGE_SIZE]>) -> u64;
+    /// time. The store shares the refcounted buffer; nothing is copied.
+    fn insert(&mut self, key: PageKey, page: PageBuf) -> u64;
 
     /// Fetch a page.
-    fn get(&self, key: PageKey) -> Option<&[u8; PAGE_SIZE]>;
+    fn get(&self, key: PageKey) -> Option<&PageBuf>;
 
     /// Number of distinct pages stored.
     fn len(&self) -> usize;
@@ -54,7 +54,7 @@ pub trait PageStore {
     }
 
     /// All `(key, page)` pairs, sorted by key (image materialization).
-    fn iter_sorted(&self) -> Vec<(PageKey, &[u8; PAGE_SIZE])>;
+    fn iter_sorted(&self) -> Vec<(PageKey, &PageBuf)>;
 
     /// Mark the beginning of a new incremental checkpoint.
     fn begin_checkpoint(&mut self);
@@ -68,7 +68,7 @@ pub trait PageStore {
     /// to fetch the base page first.
     fn apply_delta(&mut self, key: PageKey, enc: &PageEncoding) -> u64 {
         let base = match enc {
-            PageEncoding::Delta(_) => self.get(key).map(|p| Box::new(*p)),
+            PageEncoding::Delta(_) => self.get(key).cloned(),
             _ => None,
         };
         let page = enc.apply(base.as_deref());
@@ -91,7 +91,7 @@ pub trait PageStore {
 #[derive(Debug, Default)]
 pub struct LinkedListStore {
     /// Directories, index 0 = current checkpoint.
-    dirs: Vec<HashMap<PageKey, Box<[u8; PAGE_SIZE]>>>,
+    dirs: Vec<HashMap<PageKey, PageBuf>>,
     count: usize,
     checkpoints: u64,
 }
@@ -109,7 +109,7 @@ impl LinkedListStore {
 }
 
 impl PageStore for LinkedListStore {
-    fn insert(&mut self, key: PageKey, page: Box<[u8; PAGE_SIZE]>) -> u64 {
+    fn insert(&mut self, key: PageKey, page: PageBuf) -> u64 {
         if self.dirs.is_empty() {
             self.dirs.push(HashMap::new());
         }
@@ -129,7 +129,7 @@ impl PageStore for LinkedListStore {
         probes
     }
 
-    fn get(&self, key: PageKey) -> Option<&[u8; PAGE_SIZE]> {
+    fn get(&self, key: PageKey) -> Option<&PageBuf> {
         for dir in &self.dirs {
             if let Some(p) = dir.get(&key) {
                 return Some(p);
@@ -142,8 +142,8 @@ impl PageStore for LinkedListStore {
         self.count
     }
 
-    fn iter_sorted(&self) -> Vec<(PageKey, &[u8; PAGE_SIZE])> {
-        let mut v: Vec<(PageKey, &[u8; PAGE_SIZE])> = Vec::with_capacity(self.count);
+    fn iter_sorted(&self) -> Vec<(PageKey, &PageBuf)> {
+        let mut v: Vec<(PageKey, &PageBuf)> = Vec::with_capacity(self.count);
         for dir in &self.dirs {
             for (k, p) in dir {
                 v.push((*k, p));
@@ -183,7 +183,7 @@ impl<T> RadixNode<T> {
     }
 }
 
-type Leaf = RadixNode<Box<[u8; PAGE_SIZE]>>;
+type Leaf = RadixNode<PageBuf>;
 type L2 = RadixNode<Box<Leaf>>;
 type L3 = RadixNode<Box<L2>>;
 type L4 = RadixNode<Box<L3>>;
@@ -228,7 +228,7 @@ impl RadixTreeStore {
 }
 
 impl PageStore for RadixTreeStore {
-    fn insert(&mut self, key: PageKey, page: Box<[u8; PAGE_SIZE]>) -> u64 {
+    fn insert(&mut self, key: PageKey, page: PageBuf) -> u64 {
         let (i4, i3, i2, i1) = Self::split(key.vpn);
         let root = self
             .roots
@@ -243,21 +243,21 @@ impl PageStore for RadixTreeStore {
         4 // exactly four probes, independent of history (§V-A)
     }
 
-    fn get(&self, key: PageKey) -> Option<&[u8; PAGE_SIZE]> {
+    fn get(&self, key: PageKey) -> Option<&PageBuf> {
         let (i4, i3, i2, i1) = Self::split(key.vpn);
         self.roots.get(&key.pid)?.slots[i4].as_ref()?.slots[i3]
             .as_ref()?
             .slots[i2]
             .as_ref()?
             .slots[i1]
-            .as_deref()
+            .as_ref()
     }
 
     fn len(&self) -> usize {
         self.count
     }
 
-    fn iter_sorted(&self) -> Vec<(PageKey, &[u8; PAGE_SIZE])> {
+    fn iter_sorted(&self) -> Vec<(PageKey, &PageBuf)> {
         let mut v = Vec::with_capacity(self.count);
         let mut pids: Vec<&Pid> = self.roots.keys().collect();
         pids.sort();
@@ -275,7 +275,7 @@ impl PageStore for RadixTreeStore {
                                     | ((i3 as u64) << 18)
                                     | ((i2 as u64) << 9)
                                     | i1 as u64;
-                                v.push((PageKey { pid, vpn }, &**p));
+                                v.push((PageKey { pid, vpn }, p));
                             }
                         }
                     }
@@ -297,9 +297,10 @@ impl PageStore for RadixTreeStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use nilicon_sim::PAGE_SIZE;
 
-    fn page(tag: u8) -> Box<[u8; PAGE_SIZE]> {
-        Box::new([tag; PAGE_SIZE])
+    fn page(tag: u8) -> PageBuf {
+        std::rc::Rc::new([tag; PAGE_SIZE])
     }
 
     fn key(pid: u32, vpn: u64) -> PageKey {
@@ -398,8 +399,9 @@ mod tests {
         v2[10] = 9;
         v2[4000] = 1;
         for v in [v1, v2, [0u8; PAGE_SIZE]] {
+            let v = std::rc::Rc::new(v);
             let enc = shadow.encode(k, &v, &mut stats);
-            direct.insert(k, Box::new(v));
+            direct.insert(k, v.clone());
             let probes = via_delta.apply_delta(k, &enc);
             assert!(probes >= 4);
             assert_eq!(via_delta.get(k).unwrap(), direct.get(k).unwrap());

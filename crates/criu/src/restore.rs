@@ -131,7 +131,7 @@ pub fn restore_container(
 
     // Pages (grouped per pid to amortize lookups).
     {
-        type PageList = Vec<(u64, Box<[u8; nilicon_sim::PAGE_SIZE]>)>;
+        type PageList = Vec<(u64, nilicon_sim::PageBuf)>;
         let mut by_pid: std::collections::BTreeMap<Pid, PageList> =
             std::collections::BTreeMap::new();
         for (pid, vpn, data) in &img.pages {

@@ -123,7 +123,7 @@ fn arb_image() -> impl Strategy<Value = CheckpointImage> {
                     vmas,
                 });
                 for (pid, vpn, tag) in pages {
-                    img.pages.push((Pid(pid), vpn, Box::new([tag; PAGE_SIZE])));
+                    img.pages.push((Pid(pid), vpn, std::rc::Rc::new([tag; PAGE_SIZE])));
                 }
                 img.listeners = listeners;
                 for (a, p, snd, rcv, q) in socks {

@@ -7,8 +7,8 @@ use nilicon_sim::PAGE_SIZE;
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 
-fn page(tag: u8) -> Box<[u8; PAGE_SIZE]> {
-    Box::new([tag; PAGE_SIZE])
+fn page(tag: u8) -> nilicon_sim::PageBuf {
+    std::rc::Rc::new([tag; PAGE_SIZE])
 }
 
 /// A random incremental-checkpoint schedule: per checkpoint, a set of

@@ -594,7 +594,7 @@ impl Kernel {
         pid: Pid,
         vpns: &[u64],
         via: PageTransferVia,
-    ) -> SimResult<Vec<(u64, Box<[u8; crate::PAGE_SIZE]>)>> {
+    ) -> SimResult<Vec<(u64, crate::mem::PageBuf)>> {
         let per_page = match via {
             PageTransferVia::SharedMem => self.costs.page_copy,
             PageTransferVia::Pipe => self.costs.page_copy + self.costs.parasite_pipe_per_page,
@@ -626,7 +626,7 @@ impl Kernel {
         &mut self,
         pid: Pid,
         max: usize,
-    ) -> SimResult<Vec<(u64, Box<[u8; crate::PAGE_SIZE]>)>> {
+    ) -> SimResult<Vec<(u64, crate::mem::PageBuf)>> {
         let mm = self.mm_mut(pid)?;
         let mut out = mm.take_cow_staged();
         let drained = mm.cow_drain(max);
@@ -651,7 +651,7 @@ impl Kernel {
     pub fn install_pages(
         &mut self,
         pid: Pid,
-        pages: &[(u64, Box<[u8; crate::PAGE_SIZE]>)],
+        pages: &[(u64, crate::mem::PageBuf)],
     ) -> SimResult<()> {
         self.charge(pages.len() as u64 * self.costs.page_restore);
         let mm = self.mm_mut(pid)?;

@@ -48,6 +48,7 @@ pub mod time;
 pub use costs::CostModel;
 pub use error::{SimError, SimResult};
 pub use kernel::Kernel;
+pub use mem::{zero_page, PageBuf};
 pub use time::{Nanos, MICROSECOND, MILLISECOND, SECOND};
 
 /// Size of a simulated page, matching x86-64 base pages.
@@ -59,6 +60,7 @@ pub mod prelude {
     pub use crate::error::{SimError, SimResult};
     pub use crate::ids::*;
     pub use crate::kernel::Kernel;
+    pub use crate::mem::{zero_page, PageBuf};
     pub use crate::time::{Nanos, MICROSECOND, MILLISECOND, SECOND};
     pub use crate::PAGE_SIZE;
 }

@@ -1,6 +1,6 @@
 //! Address spaces: the per-process `mm_struct`.
 
-use super::page::PageFrame;
+use super::page::{zero_page, PageBuf, PageFrame};
 use super::vma::{MappedFile, Perms, Vma, VmaKind};
 use super::TrackingMode;
 use crate::error::{SimError, SimResult};
@@ -50,7 +50,7 @@ pub struct AddressSpace {
     cow_protected: BTreeSet<u64>,
     /// Checkpoint-time contents of protected pages that took a write fault
     /// before the background copier reached them (copy-before-write).
-    cow_staged: Vec<(u64, Box<[u8; PAGE_SIZE]>)>,
+    cow_staged: Vec<(u64, PageBuf)>,
     /// COW write-protect faults taken since the last [`Self::take_cow_faults`].
     cow_faults: u64,
 }
@@ -279,7 +279,7 @@ impl AddressSpace {
             self.cow_faults += 1;
             let snap = match self.frames.get(&vpn) {
                 Some(f) => f.snapshot(),
-                None => Box::new([0u8; PAGE_SIZE]),
+                None => zero_page(),
             };
             self.cow_staged.push((vpn, snap));
         }
@@ -371,12 +371,12 @@ impl AddressSpace {
     // ------------------------------------------------------------------
 
     /// Copy out one page's contents (zeros if unmaterialized but mapped).
-    pub fn snapshot_page(&self, vpn: u64) -> SimResult<Box<[u8; PAGE_SIZE]>> {
+    pub fn snapshot_page(&self, vpn: u64) -> SimResult<PageBuf> {
         let addr = vpn * PS;
         self.vma_at(addr).ok_or(SimError::Segfault { addr })?;
         Ok(match self.frames.get(&vpn) {
             Some(f) => f.snapshot(),
-            None => Box::new([0u8; PAGE_SIZE]),
+            None => zero_page(),
         })
     }
 
@@ -420,21 +420,21 @@ impl AddressSpace {
     /// Pages whose checkpoint-time contents were eagerly staged by write
     /// faults since the last call. Their copy cost was already paid at
     /// fault time (runtime overhead), so handing them over is free.
-    pub fn take_cow_staged(&mut self) -> Vec<(u64, Box<[u8; PAGE_SIZE]>)> {
+    pub fn take_cow_staged(&mut self) -> Vec<(u64, PageBuf)> {
         std::mem::take(&mut self.cow_staged)
     }
 
     /// Background-copier step: un-protect and copy out up to `max` protected
     /// pages in ascending vpn order. The caller charges per-page drain cost
     /// for exactly the pages returned.
-    pub fn cow_drain(&mut self, max: usize) -> Vec<(u64, Box<[u8; PAGE_SIZE]>)> {
+    pub fn cow_drain(&mut self, max: usize) -> Vec<(u64, PageBuf)> {
         let take: Vec<u64> = self.cow_protected.iter().take(max).copied().collect();
         let mut out = Vec::with_capacity(take.len());
         for vpn in take {
             self.cow_protected.remove(&vpn);
             let snap = match self.frames.get(&vpn) {
                 Some(f) => f.snapshot(),
-                None => Box::new([0u8; PAGE_SIZE]),
+                None => zero_page(),
             };
             out.push((vpn, snap));
         }

@@ -1,6 +1,26 @@
 //! A physical page frame with real contents and tracking bits.
 
 use crate::PAGE_SIZE;
+use std::rc::Rc;
+
+/// A refcounted, immutable 4 KiB page buffer.
+///
+/// Checkpoint pages travel the dump → encode → transfer → ingest path as
+/// `PageBuf`s: one copy is made when the page is captured (the frame is still
+/// mutable), after which every stage — delta shadow, placement striping,
+/// backup stores — shares the same allocation. The simulation is
+/// single-threaded, so `Rc` suffices.
+pub type PageBuf = Rc<[u8; PAGE_SIZE]>;
+
+thread_local! {
+    static ZERO_PAGE: PageBuf = Rc::new([0u8; PAGE_SIZE]);
+}
+
+/// The shared all-zeros page. Untouched anonymous pages and zero-encoded
+/// deltas resolve to this single allocation instead of a fresh 4 KiB each.
+pub fn zero_page() -> PageBuf {
+    ZERO_PAGE.with(Rc::clone)
+}
 
 /// One 4 KiB page frame.
 ///
@@ -62,9 +82,10 @@ impl PageFrame {
         &mut self.data
     }
 
-    /// Copy the page out (e.g. into a checkpoint staging buffer).
-    pub fn snapshot(&self) -> Box<[u8; PAGE_SIZE]> {
-        self.data.clone()
+    /// Copy the page out into an immutable shared buffer. This is the single
+    /// copy on the checkpoint path; everything downstream clones the `Rc`.
+    pub fn snapshot(&self) -> PageBuf {
+        Rc::new(*self.data)
     }
 }
 

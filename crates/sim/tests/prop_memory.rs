@@ -4,7 +4,7 @@
 //! the set of pages written since — no false dirties, no missed writes —
 //! under arbitrary interleavings of writes, reads, clears, and scans.
 
-use nilicon_sim::mem::{AddressSpace, Perms, TrackingMode, Vma, VmaKind};
+use nilicon_sim::mem::{AddressSpace, PageBuf, Perms, TrackingMode, Vma, VmaKind};
 use nilicon_sim::PAGE_SIZE;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -138,9 +138,9 @@ proptest! {
         let mut raced: BTreeSet<u64> = BTreeSet::new();
         let mut model_dirty: BTreeSet<u64> = BTreeSet::new();
         let mut faults = 0u64;
-        let mut collected: BTreeMap<u64, Box<[u8; PAGE_SIZE]>> = BTreeMap::new();
-        let collect = |got: Vec<(u64, Box<[u8; PAGE_SIZE]>)>,
-                           collected: &mut BTreeMap<u64, Box<[u8; PAGE_SIZE]>>| {
+        let mut collected: BTreeMap<u64, PageBuf> = BTreeMap::new();
+        let collect = |got: Vec<(u64, PageBuf)>,
+                           collected: &mut BTreeMap<u64, PageBuf>| {
             for (vpn, snap) in got {
                 prop_assert!(collected.insert(vpn, snap).is_none(),
                     "page {vpn} copied out twice");

@@ -1,10 +1,11 @@
 //! Offline stand-in for the `criterion` crate.
 //!
 //! This build environment has no crates.io access, so benches link against
-//! this minimal shim: each registered benchmark closure is executed a small
-//! fixed number of times and wall-clock timed with `std::time::Instant` —
-//! enough for `cargo bench -- --test` smoke coverage and for eyeballing
-//! gross regressions, with none of real criterion's statistics.
+//! this minimal shim: each registered benchmark closure is warmed up untimed
+//! and then executed a small fixed number of times, wall-clock timed with
+//! `std::time::Instant` — enough for `cargo bench -- --test` smoke coverage
+//! and for eyeballing gross regressions, with none of real criterion's
+//! statistics.
 //!
 //! Beyond printing per-bench lines, the shim records every sample and, at
 //! the end of `criterion_main`, writes `BENCH_<binary-stem>.json` into the
@@ -140,8 +141,13 @@ pub struct Bencher {
 }
 
 impl Bencher {
-    /// Time `routine` over a few iterations.
+    /// Time `routine` over a few iterations, after untimed warmup rounds
+    /// (cold caches, lazy page faults, and branch-predictor training
+    /// otherwise land entirely in the first sample and skew the mean).
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..WARMUP_ITERS {
+            drop(routine());
+        }
         for _ in 0..self.iters {
             let t = Instant::now();
             let out = routine();
@@ -150,13 +156,16 @@ impl Bencher {
         }
     }
 
-    /// Time `routine` with fresh setup output per iteration.
+    /// Time `routine` with fresh setup output per iteration (setup untimed).
     pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
         &mut self,
         mut setup: S,
         mut routine: R,
         _size: BatchSize,
     ) {
+        for _ in 0..WARMUP_ITERS {
+            drop(routine(setup()));
+        }
         for _ in 0..self.iters {
             let input = setup();
             let t = Instant::now();
@@ -167,9 +176,12 @@ impl Bencher {
     }
 }
 
+/// Untimed iterations before sampling starts.
+const WARMUP_ITERS: u32 = 3;
+
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, mut f: F) {
     let mut b = Bencher {
-        iters: 5,
+        iters: 15,
         samples: Vec::new(),
     };
     f(&mut b);
