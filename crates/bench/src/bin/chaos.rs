@@ -10,7 +10,10 @@
 //! replay check (see `nilicon_bench::chaos`); any `split-brain` cell fails
 //! the process. The full matrix also lands in `CHAOS_matrix.json`.
 
-use nilicon_bench::chaos::{run_cell, run_state_cell, scenarios, Cell, Outcome, CELL_EPOCHS};
+use nilicon_bench::chaos::{
+    fleet_scenarios, run_cell, run_fleet_cell, run_state_cell, scenarios, Cell, Outcome,
+    CELL_EPOCHS,
+};
 use nilicon_bench::Table;
 use nilicon_sim::MILLISECOND;
 
@@ -27,6 +30,20 @@ fn main() {
     for &shift in &shifts {
         for sc in scenarios(shift) {
             cells.push(run_cell(&sc, shift, CELL_EPOCHS));
+        }
+        // Fleet cells (EXTENSION `--fleet N`): one service-style run judges
+        // per-lane ownership, isolation, and echo correctness; there is no
+        // separate state run, so the same run fills both slots.
+        for sc in fleet_scenarios(shift) {
+            let run = run_fleet_cell(&sc, CELL_EPOCHS);
+            cells.push(Cell {
+                scenario: sc.name,
+                shift_ms: shift / MILLISECOND,
+                expect: sc.expect,
+                outcome: run.outcome,
+                state: run.clone(),
+                service: run,
+            });
         }
     }
 

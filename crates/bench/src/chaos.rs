@@ -15,9 +15,11 @@
 //!
 //! A cell's outcome is the worse of the two.
 
+use nilicon::fleet::{FleetScheduler, LaneSpec};
 use nilicon::harness::{RunHarness, RunMode};
+use nilicon::traffic::ClientBehavior;
 use nilicon::{ChaosStats, NiLiConEngine, OptimizationConfig, PlacementEngine, ReplicationConfig};
-use nilicon_container::{Application, ContainerSpec, GuestCtx, StepOutcome};
+use nilicon_container::{Application, ContainerSpec, GuestCtx, RequestOutcome, StepOutcome};
 use nilicon_sim::net::{ChaosConfig, ChaosSchedule, FaultKind, LinkDir};
 use nilicon_sim::time::Nanos;
 use nilicon_sim::{CostModel, SimResult, MILLISECOND, PAGE_SIZE};
@@ -583,6 +585,197 @@ pub fn run_service_cell(sc: &Scenario, epochs: u64) -> CellRun {
     }
 }
 
+// ----------------------------------------------------------------------
+// Fleet cells (EXTENSION `--fleet N`, DESIGN.md §13)
+// ----------------------------------------------------------------------
+
+/// One fleet-scale adversarial scenario: N lanes multiplexed on one
+/// primary/backup pair, with a partition of the whole pair or a fail-stop
+/// of a single lane's container. The invariants under test are the fleet's:
+/// per-lane ownership promotes independently behind the lease fence
+/// (exactly one owner per lane, never per pair), and a fault on lane A
+/// must not break lane B's clients.
+pub struct FleetScenario {
+    /// Catalog name.
+    pub name: &'static str,
+    /// Lane count (`--fleet N`).
+    pub lanes: u32,
+    /// Partition the primary from backup + clients over this window.
+    pub partition: Option<(Nanos, Nanos)>,
+    /// Fail-stop one lane's container processes at this time.
+    pub lane_fault: Option<(usize, Nanos)>,
+    /// Failovers the catalog expects (summed over lanes).
+    pub expect_failovers: u64,
+    /// Expected outcome.
+    pub expect: Outcome,
+}
+
+/// The fleet scenario catalog, shifted like [`scenarios`].
+pub fn fleet_scenarios(shift: Nanos) -> Vec<FleetScenario> {
+    let s = |t: Nanos| t + shift;
+    vec![
+        // The pair partitions mid-fleet: every lane's output is held (no
+        // ack ⇒ no release), leases run out behind the fence, and the
+        // backup promotes all three lanes; the zombie primary's held
+        // output is discarded, never released.
+        FleetScenario {
+            name: "fleet-partition-mid-fleet",
+            lanes: 3,
+            partition: Some((s(400 * MS), s(1000 * MS))),
+            lane_fault: None,
+            expect_failovers: 3,
+            expect: Outcome::Recovered,
+        },
+        // Container A fail-stops while lane B is mid-commit on the shared
+        // link (the stagger keeps B's stop/ack in flight when A dies): A
+        // alone promotes; B's epoch commits and its clients never notice.
+        FleetScenario {
+            name: "fleet-lane-fault-while-peer-commits",
+            lanes: 2,
+            partition: None,
+            lane_fault: Some((0, s(415 * MS))),
+            expect_failovers: 1,
+            expect: Outcome::Recovered,
+        },
+    ]
+}
+
+/// Echo application for fleet lanes: stages each request through guest
+/// heap so committed state covers served requests.
+struct FleetEchoApp;
+impl Application for FleetEchoApp {
+    fn name(&self) -> &str {
+        "fleet-echo"
+    }
+    fn init(&mut self, _ctx: &mut GuestCtx<'_>) -> SimResult<()> {
+        Ok(())
+    }
+    fn handle_request(&mut self, ctx: &mut GuestCtx<'_>, req: &[u8]) -> SimResult<RequestOutcome> {
+        ctx.cpu(40_000);
+        ctx.heap_write(0, req)?;
+        let mut back = vec![0u8; req.len()];
+        ctx.heap_read(0, &mut back)?;
+        Ok(RequestOutcome { response: back })
+    }
+}
+
+/// Closed-loop clients tagging payloads per lane and verifying every echo.
+struct FleetEchoClients {
+    n: usize,
+    tag: u8,
+    issued: u64,
+    got: u64,
+    bad: u64,
+}
+
+impl ClientBehavior for FleetEchoClients {
+    fn client_count(&self) -> usize {
+        self.n
+    }
+    fn next_request(&mut self, idx: usize, _now: Nanos) -> Option<Vec<u8>> {
+        self.issued += 1;
+        Some(vec![self.tag, idx as u8, (self.issued % 251) as u8])
+    }
+    fn on_response(&mut self, idx: usize, resp: &[u8], _now: Nanos, _latency: Nanos) {
+        self.got += 1;
+        if resp.len() != 3 || resp[0] != self.tag || resp[1] != idx as u8 {
+            self.bad += 1;
+        }
+    }
+    fn verify(&self) -> Result<(), String> {
+        if self.bad > 0 {
+            return Err(format!("{} corrupted echoes (tag {})", self.bad, self.tag));
+        }
+        if self.got == 0 {
+            return Err(format!("no responses completed (tag {})", self.tag));
+        }
+        Ok(())
+    }
+}
+
+fn fleet_lane(i: u32) -> LaneSpec {
+    let mut spec = ContainerSpec::server(&format!("svc{i}"), 10 + i, 6379);
+    spec.heap_pages = 64;
+    LaneSpec {
+        spec,
+        app: Box::new(FleetEchoApp),
+        behavior: Some(Box::new(FleetEchoClients {
+            n: 2,
+            tag: 0x40 + i as u8,
+            issued: 0,
+            got: 0,
+            bad: 0,
+        })),
+    }
+}
+
+/// Run one fleet cell: `epochs` epochs per lane under the scenario, judged
+/// on every lane's echo verification, zero broken connections, the
+/// catalogued failover count, and the per-lane exactly-one-owner invariant.
+pub fn run_fleet_cell(sc: &FleetScenario, epochs: u64) -> CellRun {
+    let mut cfg = ReplicationConfig {
+        opts: OptimizationConfig::nilicon(),
+        ..Default::default()
+    };
+    cfg.opts.fleet = sc.lanes;
+    let lanes = (0..sc.lanes).map(fleet_lane).collect();
+    let mut fleet = FleetScheduler::new(cfg, lanes).expect("fleet");
+    if let Some((from, until)) = sc.partition {
+        fleet.partition_primary(from, until);
+    }
+    if let Some((lane, t)) = sc.lane_fault {
+        fleet.inject_lane_fault_at(lane, t);
+    }
+    let error = fleet.run_epochs(epochs).err().map(|e| e.to_string());
+    let r = fleet.finish();
+
+    let failovers: u64 = r.lanes.iter().map(|l| l.failovers).sum();
+    let unrecovered = r.lanes.iter().filter(|l| l.unrecovered).count() as u64;
+    let lane_fail: Vec<String> = r
+        .lanes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, l)| {
+            l.verify
+                .as_ref()
+                .err()
+                .map(|e| format!("lane {i}: {e}"))
+                .or_else(|| {
+                    (l.broken_connections > 0)
+                        .then(|| format!("lane {i}: {} broken connections", l.broken_connections))
+                })
+        })
+        .collect();
+    let service_ok = error.is_none() && lane_fail.is_empty() && failovers == sc.expect_failovers;
+    let error = error.or_else(|| {
+        (!lane_fail.is_empty()).then(|| lane_fail.join("; "))
+    });
+    let stats = ChaosStats {
+        split_brain: r.split_brains() > 0,
+        ..ChaosStats::default()
+    };
+    // `replication_now`: a fleet lane that failed over serves unreplicated
+    // by design (no re-arm); Degraded is reserved for a backup dying with
+    // no failover, which these scenarios cannot produce.
+    let outcome = classify(
+        true,
+        service_ok,
+        unrecovered,
+        failovers,
+        true,
+        &stats,
+        error.as_deref(),
+    );
+    CellRun {
+        outcome,
+        state_ok: true,
+        service_ok,
+        failovers,
+        stats,
+        error,
+    }
+}
+
 /// One matrix cell: the worse of the state and service runs.
 #[derive(Debug, Clone, Serialize)]
 pub struct Cell {
@@ -665,6 +858,26 @@ mod tests {
             assert!(
                 cat.iter().any(|s| s.name.contains(needle)),
                 "catalog misses {needle}"
+            );
+        }
+        let fleet = fleet_scenarios(0);
+        for needle in ["fleet-partition-mid-fleet", "fleet-lane-fault-while-peer-commits"] {
+            assert!(
+                fleet.iter().any(|s| s.name.contains(needle)),
+                "fleet catalog misses {needle}"
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_cells_match_the_catalog() {
+        for sc in fleet_scenarios(0) {
+            let cell = run_fleet_cell(&sc, CELL_EPOCHS);
+            assert!(!cell.stats.split_brain, "{}: split brain", sc.name);
+            assert_eq!(
+                cell.outcome, sc.expect,
+                "{}: {:?} (error: {:?})",
+                sc.name, cell.outcome, cell.error
             );
         }
     }

@@ -99,6 +99,21 @@ pub struct OptimizationConfig {
     /// stalls the next stop phase (backpressure), degrading toward the
     /// paper's synchronous behavior. Off in every paper reproduction run.
     pub pipeline: bool,
+    /// EXTENSION (fleet scale; ROADMAP item 1): multiplex this many
+    /// containers over one primary/backup pair via the [`crate::fleet`]
+    /// scheduler — per-container shadow stores and epoch state feeding one
+    /// shared transfer link, staggered epoch boundaries (phase offset
+    /// `i·epoch/N`), one consolidated heartbeat channel carrying per-container
+    /// liveness bits, and fair-share output commit. `0` disables the fleet
+    /// layer entirely (the paper's one-container-per-pair topology); every
+    /// paper reproduction run uses `0`.
+    pub fleet: u32,
+    /// EXTENSION (fleet scale): align every fleet member's epoch boundary to
+    /// the same phase instead of staggering — the stop-phase convoy
+    /// configuration the stagger exists to avoid; used by `fleet_bench
+    /// --aligned` to measure the convoy. Ignored when `fleet == 0`; off in
+    /// every paper reproduction run.
+    pub fleet_aligned: bool,
 }
 
 impl OptimizationConfig {
@@ -121,6 +136,8 @@ impl OptimizationConfig {
             quorum: 1,
             hybrid_replay: false,
             pipeline: false,
+            fleet: 0,
+            fleet_aligned: false,
         }
     }
 
@@ -143,6 +160,8 @@ impl OptimizationConfig {
             quorum: 1,
             hybrid_replay: false,
             pipeline: false,
+            fleet: 0,
+            fleet_aligned: false,
         }
     }
 
@@ -304,6 +323,8 @@ mod tests {
             assert_eq!(cfg.quorum, 1);
             assert!(!cfg.hybrid_replay, "paper rows: release waits for epoch ack");
             assert!(!cfg.pipeline, "paper rows: synchronous checkpoint path");
+            assert_eq!(cfg.fleet, 0, "paper rows: one container per pair");
+            assert!(!cfg.fleet_aligned);
             assert!(!cfg.dump_config().cow);
         }
         // The COW knob flows through to the CRIU dump config.

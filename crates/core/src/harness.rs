@@ -2148,13 +2148,22 @@ impl RunHarness {
         }
         let _ = self.tracer.flush();
         self.metrics.elapsed = self.cluster.clock.now();
-        let broken = match self.pool.as_mut() {
-            Some(p) => p.broken_connections(&mut self.cluster),
-            None => 0,
+        // A failed client-stack lookup must fail the run, not count as zero
+        // broken connections — fold the error into `verify` so the §VII-A
+        // gate can't pass vacuously.
+        let (broken, broken_err) = match self.pool.as_mut() {
+            Some(p) => match p.broken_connections(&mut self.cluster) {
+                Ok(n) => (n, None),
+                Err(e) => (u64::MAX, Some(format!("broken_connections: {e}"))),
+            },
+            None => (0, None),
         };
-        let verify = match &self.behavior {
-            Some(b) => b.verify(),
-            None => Ok(()),
+        let verify = match broken_err {
+            Some(e) => Err(e),
+            None => match &self.behavior {
+                Some(b) => b.verify(),
+                None => Ok(()),
+            },
         };
         // A scheduled fault that never fired is unproven survival: the old
         // `recovered` semantics (fault pending + still on the primary =

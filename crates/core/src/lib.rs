@@ -35,6 +35,8 @@
 //! * [`nilicon_engine`] — the primary-side NiLiCon engine,
 //! * [`placement`] — the k-of-n erasure-coded multi-backup engine with
 //!   unified repair/rearm/migration streaming,
+//! * [`fleet`] — the fleet-scale extension: N containers multiplexed over
+//!   one primary/backup pair with staggered epochs and fair-share commit,
 //! * [`traffic`] — client pool and the [`traffic::ClientBehavior`] seam that
 //!   workloads implement,
 //! * [`harness`] — the epoch-loop run harness (unreplicated / NiLiCon / MC)
@@ -89,6 +91,7 @@ pub mod backup;
 pub mod config;
 pub mod detector;
 pub mod engine;
+pub mod fleet;
 pub mod harness;
 pub mod metrics;
 pub mod nilicon_engine;
@@ -101,6 +104,7 @@ pub use backup::DiscardCounts;
 pub use config::{OptimizationConfig, ReplicationConfig};
 pub use detector::{FailureDetector, Lease};
 pub use engine::{BootstrapBegin, BootstrapStep, CheckpointOutcome, Checkpointer, FailoverReport};
+pub use fleet::{FleetResult, FleetScheduler, LaneResult, LaneSpec};
 pub use harness::{ChaosStats, RunHarness, RunMode, RunResult};
 pub use metrics::{percentile, EpochRecord, RunMetrics};
 pub use engine::{LogShipOutcome, ReplayTail};

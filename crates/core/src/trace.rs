@@ -419,6 +419,25 @@ pub enum TraceEvent {
         /// Virtual ns the stop phase stalled waiting for the pipeline.
         stalled: Nanos,
     },
+    /// A fleet member's epoch began at its staggered phase offset (fleet
+    /// extension; marker at the member's epoch boundary). Under `--aligned`
+    /// every lane's offset is 0 — the convoy configuration.
+    FleetEpochStart {
+        /// Fleet lane (container index within the pair).
+        lane: u32,
+        /// This lane's phase offset within the epoch period (`i·epoch/N` ns).
+        offset: Nanos,
+    },
+    /// Extra time this lane's transfer waited on the shared replication link
+    /// beyond its own wire time, under the fair-share (deficit round-robin)
+    /// arbiter (fleet extension; an ack-phase *span* — it participates in the
+    /// per-lane ack reconciliation identity, see OBSERVABILITY.md).
+    FairShareWait {
+        /// Fleet lane (container index within the pair).
+        lane: u32,
+        /// Virtual ns waited for other lanes' quanta on the shared link.
+        waited: Nanos,
+    },
 }
 
 impl TraceEvent {
@@ -468,6 +487,8 @@ impl TraceEvent {
             TraceEvent::StageDequeue { .. } => "StageDequeue",
             TraceEvent::StageRestart { .. } => "StageRestart",
             TraceEvent::Backpressure { .. } => "Backpressure",
+            TraceEvent::FleetEpochStart { .. } => "FleetEpochStart",
+            TraceEvent::FairShareWait { .. } => "FairShareWait",
         }
     }
 
@@ -493,6 +514,7 @@ impl TraceEvent {
                 | TraceEvent::BackupIngest { .. }
                 | TraceEvent::Ack
                 | TraceEvent::ChaosDelay { .. }
+                | TraceEvent::FairShareWait { .. }
         )
     }
 
@@ -735,6 +757,20 @@ impl serde::ser::Serialize for TraceEvent {
             TraceEvent::Backpressure { stalled } => {
                 tagged("Backpressure", vec![("stalled".into(), u(*stalled))])
             }
+            TraceEvent::FleetEpochStart { lane, offset } => tagged(
+                "FleetEpochStart",
+                vec![
+                    ("lane".into(), u(*lane as u64)),
+                    ("offset".into(), u(*offset)),
+                ],
+            ),
+            TraceEvent::FairShareWait { lane, waited } => tagged(
+                "FairShareWait",
+                vec![
+                    ("lane".into(), u(*lane as u64)),
+                    ("waited".into(), u(*waited)),
+                ],
+            ),
         }
     }
 }
@@ -908,6 +944,14 @@ impl serde::de::Deserialize for TraceEvent {
             }),
             "Backpressure" => Ok(TraceEvent::Backpressure {
                 stalled: f(fields, "stalled")?,
+            }),
+            "FleetEpochStart" => Ok(TraceEvent::FleetEpochStart {
+                lane: serde::de::field(fields, "lane")?,
+                offset: f(fields, "offset")?,
+            }),
+            "FairShareWait" => Ok(TraceEvent::FairShareWait {
+                lane: serde::de::field(fields, "lane")?,
+                waited: f(fields, "waited")?,
             }),
             other => Err(serde::Error::msg(format!("unknown trace event {other:?}"))),
         }
@@ -1507,6 +1551,14 @@ mod tests {
                 chunk: 3,
             },
             TraceEvent::Backpressure { stalled: 2_500_000 },
+            TraceEvent::FleetEpochStart {
+                lane: 5,
+                offset: 1_875_000,
+            },
+            TraceEvent::FairShareWait {
+                lane: 5,
+                waited: 430_000,
+            },
         ];
         for kind in variants {
             let rec = TraceRecord {

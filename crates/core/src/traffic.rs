@@ -182,12 +182,17 @@ impl ClientPool {
     }
 
     /// After failover: retransmit every client's unacknowledged bytes (the
-    /// client-side TCP stacks' RTO firing).
+    /// client-side TCP stacks' RTO firing). Each connection's whole unacked
+    /// window is drained in MSS-sized segments, so a multi-segment backlog
+    /// (several requests in flight at the fault) is fully re-sent, not just
+    /// its first segment. Returns the number of segments injected.
     pub fn retransmit(&mut self, cluster: &mut Cluster) -> SimResult<usize> {
+        let stack = cluster.host_mut(self.host).stack_mut(self.ns)?;
         let mut n = 0;
         for c in &self.conns {
-            let stack = cluster.host_mut(self.host).stack_mut(self.ns)?;
-            if let Some(pkt) = stack.sock(c.sock)?.retransmit() {
+            let mut off = 0;
+            while let Some(pkt) = stack.sock(c.sock)?.retransmit_at(off) {
+                off += pkt.payload.len();
                 stack.inject_egress(pkt);
                 n += 1;
             }
@@ -219,12 +224,13 @@ impl ClientPool {
     }
 
     /// Connections broken by RST on the client side (§VII-A: must be zero).
-    pub fn broken_connections(&self, cluster: &mut Cluster) -> u64 {
-        cluster
+    /// A failed stack lookup is an error, not zero — swallowing it would let
+    /// the zero-broken-connections gate pass vacuously.
+    pub fn broken_connections(&self, cluster: &mut Cluster) -> SimResult<u64> {
+        Ok(cluster
             .host_mut(self.host)
-            .stack_mut(self.ns)
-            .map(|s| s.broken_connections())
-            .unwrap_or(0)
+            .stack_mut(self.ns)?
+            .broken_connections())
     }
 
     /// Number of clients.

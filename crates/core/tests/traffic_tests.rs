@@ -119,6 +119,69 @@ fn connect_to_dead_server_fails() {
     assert!(r.is_err());
 }
 
+/// Behavior issuing one large (multi-MSS) request per client.
+struct BigReq {
+    n: usize,
+    size: usize,
+    issued: u64,
+    got: u64,
+    ok: bool,
+}
+
+impl ClientBehavior for BigReq {
+    fn client_count(&self) -> usize {
+        self.n
+    }
+    fn next_request(&mut self, idx: usize, _now: Nanos) -> Option<Vec<u8>> {
+        if self.issued >= self.n as u64 {
+            return None;
+        }
+        self.issued += 1;
+        Some(vec![idx as u8; self.size])
+    }
+    fn on_response(&mut self, idx: usize, resp: &[u8], _now: Nanos, _latency: Nanos) {
+        self.got += 1;
+        self.ok &= resp.len() == self.size && resp.iter().all(|&b| b == idx as u8);
+    }
+}
+
+/// Regression for the single-segment retransmit bug: a request larger than
+/// one MSS lost in flight (the failover window) left bytes beyond the first
+/// MSS stranded in the write queue forever, because `ClientPool::retransmit`
+/// injected at most one RTO segment per connection per call.
+#[test]
+fn retransmit_drains_multi_segment_backlog_after_failover() {
+    use nilicon_sim::net::RTO_MSS;
+    let (mut cl, sh, sns, mut pool) = world(2);
+    let size = RTO_MSS * 2 + 100; // 3 segments per connection
+    let mut b = BigReq { n: 2, size, issued: 0, got: 0, ok: true };
+
+    // The server "dies": requests issued into the partition are dropped on
+    // the wire but stay unacknowledged in the client write queues.
+    cl.partition(sh);
+    assert_eq!(pool.issue(&mut cl, &mut b, 1_000, 0).unwrap(), 2);
+    cl.pump();
+    assert_eq!(pool.outstanding(), 2);
+
+    // Backup takes over the address (same host here); the client-side RTO
+    // fires. Every connection's whole backlog must go back on the wire.
+    cl.heal(sh);
+    let segs = pool.retransmit(&mut cl).unwrap();
+    assert_eq!(segs, 6, "two connections x three MSS segments each");
+
+    // The stream reassembles: the echo server sees each full frame.
+    echo_all(&mut cl, sh, sns);
+    let mut receipts: HashMap<Endpoint, VecDeque<Nanos>> = HashMap::new();
+    let lats = pool
+        .collect(&mut cl, &mut b, &mut receipts, 9_000, &nilicon::trace::Tracer::disabled())
+        .unwrap();
+    assert_eq!(lats.len(), 2);
+    assert!(b.ok, "responses byte-identical to the requests");
+    // Everything acked: nothing left to retransmit.
+    assert_eq!(pool.retransmit(&mut cl).unwrap(), 0);
+    assert_eq!(pool.broken_connections(&mut cl).unwrap(), 0);
+}
+
 #[test]
 fn jitter_spreads_send_times() {
     let (mut cl, _sh, _sns, mut pool) = world(16);

@@ -17,4 +17,4 @@ mod tcp;
 pub use chaos::{ChaosConfig, ChaosLink, ChaosSchedule, FaultKind, FaultWindow, LinkDir};
 pub use qdisc::{InputGate, InputMode, PlugQdisc};
 pub use stack::{NetStack, SocketQueueStats};
-pub use tcp::{Packet, RepairState, TcpFlags, TcpSocket, TcpState};
+pub use tcp::{Packet, RepairState, TcpFlags, TcpSocket, TcpState, RTO_MSS};

@@ -397,12 +397,16 @@ impl NetStack {
     }
 
     /// Retransmit unacknowledged bytes on every restored socket (fires after
-    /// the restored sockets' RTO at failover; §V-E).
+    /// the restored sockets' RTO at failover; §V-E). Each socket's whole
+    /// unacked window is drained in MSS-sized segments — a backlog larger
+    /// than one MSS produces multiple packets, not a truncated first one.
     pub fn retransmit_all(&mut self) -> usize {
         let mut pkts = Vec::new();
         for s in self.sockets.values() {
             if s.restored {
-                if let Some(p) = s.retransmit() {
+                let mut off = 0;
+                while let Some(p) = s.retransmit_at(off) {
+                    off += p.payload.len();
                     pkts.push(p);
                 }
             }

@@ -6,6 +6,12 @@ use crate::time::Nanos;
 use bytes::Bytes;
 use std::collections::VecDeque;
 
+/// Maximum payload of one RTO retransmission segment (Ethernet MSS). A
+/// restored connection with more than one MSS of unacknowledged bytes needs
+/// multiple segments to cover its window — callers drain it by walking
+/// [`TcpSocket::retransmit_at`] offsets until it returns `None`.
+pub const RTO_MSS: usize = 1460;
+
 /// TCP header flags (only those the simulation uses).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TcpFlags {
@@ -315,17 +321,30 @@ impl TcpSocket {
         }
     }
 
-    /// Retransmit everything in the write queue (after failover the restored
+    /// Retransmit the head of the write queue (after failover the restored
     /// socket re-sends unacknowledged bytes once its RTO fires; §V-E).
+    /// Equivalent to [`TcpSocket::retransmit_at`] with offset 0; callers
+    /// draining a backlog larger than [`RTO_MSS`] must walk the window with
+    /// `retransmit_at` until it returns `None`.
     pub fn retransmit(&self) -> Option<Packet> {
-        if self.state != TcpState::Established || self.write_queue.is_empty() {
+        self.retransmit_at(0)
+    }
+
+    /// Retransmit up to [`RTO_MSS`] unacknowledged bytes starting `offset`
+    /// bytes into the write queue. Returns `None` once `offset` reaches the
+    /// end of the unacked window (or the socket is not established), so a
+    /// drain loop advancing `offset` by each returned payload's length
+    /// terminates after covering the whole backlog.
+    pub fn retransmit_at(&self, offset: usize) -> Option<Packet> {
+        if self.state != TcpState::Established || offset >= self.write_queue.len() {
             return None;
         }
-        let payload: Vec<u8> = self.write_queue.iter().copied().collect();
+        let end = (offset + RTO_MSS).min(self.write_queue.len());
+        let payload: Vec<u8> = self.write_queue.iter().copied().skip(offset).take(end - offset).collect();
         Some(Packet {
             src: self.local,
             dst: self.remote.expect("peer set"),
-            seq: self.snd_una,
+            seq: self.snd_una.wrapping_add(offset as u32),
             ack: self.rcv_nxt,
             flags: TcpFlags::DATA,
             payload: Bytes::from(payload),
@@ -456,6 +475,38 @@ mod tests {
         assert_eq!(b.recv(100).unwrap(), b"lost data");
         a.on_segment(&ack);
         assert!(a.retransmit().is_none(), "nothing left to retransmit");
+    }
+
+    #[test]
+    fn retransmit_at_segments_a_large_window_by_mss() {
+        let (mut a, mut b) = established_pair();
+        // Queue 3.5 MSS of unacked data across several sends.
+        let total = RTO_MSS * 3 + RTO_MSS / 2;
+        let data: Vec<u8> = (0..total).map(|i| (i % 251) as u8).collect();
+        for chunk in data.chunks(1000) {
+            a.send(chunk).unwrap();
+        }
+        assert_eq!(a.unacked(), total);
+        // Drain the window segment by segment.
+        let mut off = 0;
+        let mut segs = Vec::new();
+        while let Some(pkt) = a.retransmit_at(off) {
+            assert!(pkt.payload.len() <= RTO_MSS, "segment within MSS");
+            assert_eq!(pkt.seq, a.snd_una.wrapping_add(off as u32));
+            off += pkt.payload.len();
+            segs.push(pkt);
+        }
+        assert_eq!(off, total, "drain covers the whole window");
+        assert_eq!(segs.len(), 4, "3.5 MSS needs four segments");
+        // In-order delivery reassembles the original stream.
+        for pkt in &segs {
+            b.on_segment(pkt);
+        }
+        assert_eq!(b.recv(usize::MAX).unwrap(), data);
+        // Plain retransmit() is the first segment only.
+        let first = a.retransmit().unwrap();
+        assert_eq!(first.payload.len(), RTO_MSS);
+        assert_eq!(first.seq, a.snd_una);
     }
 
     #[test]

@@ -103,7 +103,11 @@ proptest! {
         // Liveness: after enough retransmit+deliver rounds, everything sent
         // must arrive.
         for _ in 0..4 {
-            if let Some(pkt) = client.sock(c).unwrap().retransmit() {
+            // Drain the whole unacked window (MSS-segmented since the
+            // multi-segment RTO fix), not just the first segment.
+            let mut off = 0;
+            while let Some(pkt) = client.sock(c).unwrap().retransmit_at(off) {
+                off += pkt.payload.len();
                 server.ingress(pkt);
             }
             for p in server.take_ready() { client.ingress(p); }
@@ -138,9 +142,19 @@ proptest! {
         prop_assert_eq!(sock.state, TcpState::Established);
         prop_assert_eq!(sock.recv(usize::MAX).unwrap(), unread);
         if !unacked.is_empty() {
+            use nilicon_sim::net::RTO_MSS;
             let rt = sock.retransmit().expect("unacked bytes retransmit");
-            prop_assert_eq!(&rt.payload[..], &unacked[..]);
             prop_assert_eq!(rt.seq, st.snd_una);
+            // The drain loop covers the whole window in MSS-sized segments.
+            let mut covered = Vec::new();
+            let mut off = 0;
+            while let Some(p) = sock.retransmit_at(off) {
+                prop_assert!(p.payload.len() <= RTO_MSS, "segment within MSS");
+                prop_assert_eq!(p.seq, st.snd_una.wrapping_add(off as u32));
+                off += p.payload.len();
+                covered.extend_from_slice(&p.payload);
+            }
+            prop_assert_eq!(&covered[..], &unacked[..]);
         }
     }
 }
